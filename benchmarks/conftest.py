@@ -1,0 +1,62 @@
+"""Shared state for the benchmark harness.
+
+The full-size scenario and its evaluation are built once per session;
+individual benchmarks print their table/figure next to the paper's
+numbers and time the operation the paper's Table 3 / Table 11 cost model
+describes.  Expect the first benchmark to take a few minutes while the
+session fixtures warm up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    EvaluationRunner,
+    Scenario,
+    ScenarioParams,
+    WindowSpec,
+)
+
+#: the paper's headline window: 3 weeks of training, 1 week of testing
+PAPER_WINDOW = WindowSpec(train_start_day=0, train_days=21, test_days=7)
+
+
+def print_block(text: str) -> None:
+    """Benchmarks print their reproduced tables through this."""
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def paper_scenario() -> Scenario:
+    """The full-size synthetic world used for the headline tables."""
+    return Scenario(ScenarioParams(seed=1))
+
+
+@pytest.fixture(scope="session")
+def paper_runner(paper_scenario) -> EvaluationRunner:
+    return EvaluationRunner(paper_scenario)
+
+
+@pytest.fixture(scope="session")
+def paper_result(paper_runner):
+    """Tables 4-7 evaluation (3 weeks train / 1 week test)."""
+    return paper_runner.run(PAPER_WINDOW)
+
+
+@pytest.fixture(scope="session")
+def paper_result_nb(paper_runner):
+    """Appendix A evaluation including the Naive Bayes models."""
+    return paper_runner.run(PAPER_WINDOW, include_naive_bayes=True)
+
+
+@pytest.fixture(scope="session")
+def medium_scenario() -> Scenario:
+    """Mid-size world for the Appendix B sweeps (many re-runs)."""
+    return Scenario(ScenarioParams.medium(seed=2))
+
+
+@pytest.fixture(scope="session")
+def paper_train_counts(paper_runner):
+    lo, hi = PAPER_WINDOW.train_hours
+    return paper_runner.counts_from(paper_runner.collect_window(lo, hi))

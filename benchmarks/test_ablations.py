@@ -1,0 +1,120 @@
+"""Ablations of the design choices DESIGN.md §4 calls out.
+
+1. Hot-potato locality: weakening geographic preference (locality -> 1)
+   should erase AL+G's advantage on outage traffic.
+2. Pocketed CDNs: removing pockets shrinks the 1-hop link spread that
+   makes Figure 3's inversion.
+3. Routing drift: disabling drift should flatten the Figure-10 staleness
+   decay.
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    EvaluationRunner,
+    Scenario,
+    ScenarioParams,
+    WindowSpec,
+    figures,
+)
+
+from conftest import print_block
+
+WINDOW = WindowSpec(train_start_day=0, train_days=14, test_days=7)
+
+
+def _small(seed=21, **overrides):
+    params = ScenarioParams.small(seed=seed, horizon_days=28)
+    for key, value in overrides.items():
+        setattr(params, key, value)
+    return params
+
+
+def test_ablation_hot_potato_strictness(benchmark):
+    """AL+G's edge over AL on outage traffic scales with how
+    geographically constrained rerouting is.  Under strict hot potato
+    (candidate pool of 1: traffic always exits at the single nearest
+    link), history records exactly one link per flow and rerouting goes
+    to the next-nearest link — geography is the *only* usable signal, so
+    the AL+G completion's edge grows sharply relative to the calibrated
+    baseline."""
+    from repro.bgp import SimulatorParams
+
+    base_params = _small()
+    strict_params = _small()
+    strict_params.simulator = SimulatorParams(candidate_pool_size=1)
+
+    def run(params):
+        return EvaluationRunner(Scenario(params)).run(WINDOW)
+
+    base = run(base_params)
+    strict = benchmark.pedantic(run, args=(strict_params,),
+                                rounds=1, iterations=1)
+
+    def geo_edge(result):
+        block = result.outages_all
+        if block.total_bytes == 0:
+            return 0.0
+        return block.rows["Hist_AL+G"][3] - block.rows["Hist_AL"][3]
+
+    print_block("== Ablation: hot-potato strictness ==\n"
+                f"AL+G edge over AL (outages, top3): "
+                f"baseline {geo_edge(base) * 100:+.2f} pts, "
+                f"strict hot-potato {geo_edge(strict) * 100:+.2f} pts")
+    assert geo_edge(base) > 0.0
+    assert geo_edge(strict) >= geo_edge(base)
+
+
+def test_ablation_cdn_pockets(benchmark):
+    """Without pockets, direct peers spray over fewer links (Figure 3's
+    inversion weakens)."""
+    from repro.topology import TopologyParams
+
+    base = Scenario(_small())
+    no_pocket_params = _small()
+    no_pocket_params.topology = TopologyParams(
+        n_tier1=3, n_transit=10, n_access=24, n_cdn=3, n_stub=70,
+        cdn_pocket_fraction=0.0)
+    no_pockets = benchmark.pedantic(Scenario, args=(no_pocket_params,),
+                                    rounds=1, iterations=1)
+
+    def one_hop_spread(scenario):
+        groups = figures.fig3_link_spread(scenario, 0, 72)
+        points = groups.get(1, [])
+        if not points:
+            return 0
+        for spread, cum in points:
+            if cum >= 0.5:
+                return spread
+        return points[-1][0]
+
+    base_spread = one_hop_spread(base)
+    ablated_spread = one_hop_spread(no_pockets)
+    print_block("== Ablation: CDN pockets ==\n"
+                f"1-hop median link spread: with pockets {base_spread}, "
+                f"without {ablated_spread}")
+    assert base_spread >= ablated_spread
+
+
+def test_ablation_routing_drift(benchmark):
+    """With drift disabled, model staleness decay flattens."""
+    from repro.bgp import SimulatorParams
+
+    frozen_params = _small()
+    frozen_params.simulator = SimulatorParams(
+        minor_drift_daily=0.0, major_drift_daily=0.0)
+
+    def staleness_slope(params):
+        runner = EvaluationRunner(Scenario(params))
+        per_day = runner.run_staleness(0, 14, 14)
+        series = [per_day[d]["Hist_AP/AL/A"][3] for d in sorted(per_day)]
+        return float(np.polyfit(np.arange(len(series)), series, 1)[0])
+
+    base_slope = staleness_slope(_small())
+    frozen_slope = benchmark.pedantic(
+        staleness_slope, args=(frozen_params,), rounds=1, iterations=1)
+    print_block("== Ablation: routing drift ==\n"
+                f"staleness slope/day: with drift {base_slope:+.5f}, "
+                f"without {frozen_slope:+.5f}")
+    # drifting world decays at least as fast as the frozen one
+    assert base_slope <= frozen_slope + 1e-4

@@ -1,0 +1,40 @@
+"""Figure 10 (Appendix B.2): daily accuracy decay after training ends.
+
+Paper: with a 3-week trained model, accuracy decays almost linearly day
+by day — the justification for daily retraining and a 7-day test window.
+"""
+
+import numpy as np
+
+from conftest import print_block
+
+MODEL = "Hist_AL/AP/A"
+
+
+def test_fig10_staleness_curve(medium_scenario, benchmark):
+    from repro.experiments import EvaluationRunner
+
+    runner = EvaluationRunner(medium_scenario)
+    per_day = benchmark.pedantic(
+        runner.run_staleness,
+        kwargs={"train_start_day": 0, "train_days": 14,
+                "max_offset_days": 14},
+        rounds=1, iterations=1)
+    lines = ["days-after-training   top1     top2     top3"]
+    top3_series = []
+    for offset in sorted(per_day):
+        rows = per_day[offset][MODEL]
+        top3_series.append(rows[3])
+        lines.append(f"        {offset:3d}          "
+                     f"{rows[1] * 100:6.2f}  {rows[2] * 100:6.2f}  "
+                     f"{rows[3] * 100:6.2f}")
+    print_block("== Figure 10 — model staleness ==\n" + "\n".join(lines))
+
+    assert len(top3_series) >= 10
+    # accuracy decays over time: a negative linear trend
+    days = np.arange(len(top3_series))
+    slope = np.polyfit(days, top3_series, 1)[0]
+    assert slope < 0.0
+    # fresh model beats the stale end of the window (averaged against
+    # day-level noise)
+    assert np.mean(top3_series[:3]) > np.mean(top3_series[-3:])

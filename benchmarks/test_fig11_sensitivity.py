@@ -1,0 +1,42 @@
+"""Figure 11 (Appendix B.3): accuracy distribution across many windows.
+
+Paper: across 28 single-day test windows, overall accuracy is tight and
+high, while outage-affected accuracy — seen and especially unseen —
+varies widely depending on what failed in each window.
+"""
+
+import numpy as np
+
+from repro.experiments import figures
+
+from conftest import print_block
+
+
+def test_fig11_outage_sensitivity(medium_scenario, benchmark):
+    out = benchmark.pedantic(
+        figures.fig11_outage_sensitivity,
+        args=(medium_scenario,),
+        kwargs={"n_windows": 8, "train_days": 14},
+        rounds=1, iterations=1)
+    lines = ["partition        n    q1      median  q3      whiskers (Tukey)"]
+    for name, values in out.items():
+        if not values:
+            lines.append(f"{name:<16s} 0    (no qualifying windows)")
+            continue
+        s = figures.tukey_summary(values)
+        lines.append(
+            f"{name:<16s} {len(values):<4d} "
+            f"{s.q1 * 100:6.2f}  {s.median * 100:6.2f}  {s.q3 * 100:6.2f}  "
+            f"[{s.whisker_low * 100:.2f}, {s.whisker_high * 100:.2f}]"
+            + (f" +{len(s.outliers)} outliers" if s.outliers else ""))
+    print_block("== Figure 11 — per-window accuracy by outage type ==\n"
+                + "\n".join(lines))
+
+    assert len(out["overall"]) >= 6
+    # overall accuracy is tight and high across windows
+    assert min(out["overall"]) > 0.8
+    overall_spread = max(out["overall"]) - min(out["overall"])
+    # outage partitions vary far more across windows than overall does
+    if len(out["outages_all"]) >= 3:
+        outage_spread = max(out["outages_all"]) - min(out["outages_all"])
+        assert outage_spread > overall_spread

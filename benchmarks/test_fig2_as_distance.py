@@ -1,0 +1,28 @@
+"""Figure 2: CDF of ingress bytes by source-AS distance.
+
+Paper: ~60% of bytes come from ASes that peer directly (1 hop), 98.2%
+from ASes at most 3 hops away — the "flattening Internet".
+"""
+
+from repro.experiments import figures
+
+from conftest import print_block
+
+
+def test_fig2_bytes_by_distance(paper_scenario, benchmark):
+    dist = benchmark.pedantic(
+        figures.fig2_bytes_by_distance,
+        args=(paper_scenario, 21 * 24, 22 * 24),
+        rounds=1, iterations=1)
+    cum = 0.0
+    lines = ["distance  bytes%   cumulative%   (paper: 1 hop ~60%, <=3 ~98%)"]
+    for d, frac in sorted(dist.items()):
+        cum += frac
+        lines.append(f"   {d}      {frac * 100:5.1f}     {cum * 100:5.1f}")
+    print_block("== Figure 2 — bytes by source-AS distance ==\n"
+                + "\n".join(lines))
+
+    one_hop = dist.get(1, 0.0)
+    within_three = sum(v for d, v in dist.items() if d <= 3)
+    assert 0.40 < one_hop < 0.80
+    assert within_three > 0.93

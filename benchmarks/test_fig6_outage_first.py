@@ -1,0 +1,30 @@
+"""Figure 6: earliest time in a calendar year each peering link was down.
+
+Paper: the rate of first-time outages grows almost linearly over the
+year and covers ~80% of active peering links by year end.
+"""
+
+from repro.experiments import figures
+
+from conftest import print_block
+
+
+def test_fig6_first_outage_curve(paper_scenario, benchmark):
+    points = benchmark.pedantic(
+        figures.fig6_first_outage_curve,
+        args=(paper_scenario.wan.link_ids,),
+        kwargs={"horizon_days": 365, "seed": 1},
+        rounds=1, iterations=1)
+    samples = {d: f for d, f in points}
+    lines = ["day    fraction-of-links-with-an-outage   (paper: ~0.8 at 365)"]
+    for day in (30, 90, 180, 270, 365):
+        lines.append(f"{day:4d}        {samples[day]:.2f}")
+    print_block("== Figure 6 — earliest outage per link ==\n"
+                + "\n".join(lines))
+
+    assert 0.6 < samples[365] < 0.95
+    # near-linear growth: the middle of the year is near half the total
+    assert abs(samples[180] - samples[365] / 2) < samples[365] * 0.35
+    # monotone
+    fracs = [f for _d, f in points]
+    assert fracs == sorted(fracs)

@@ -1,0 +1,30 @@
+"""Figure 7: days since each peering link's last outage.
+
+Paper: looking back from the end of the period, roughly a third of
+links experienced an outage within the previous 50 days, with a mostly
+even spread further back.
+"""
+
+from repro.experiments import figures
+
+from conftest import print_block
+
+
+def test_fig7_last_outage_curve(paper_scenario, benchmark):
+    points = benchmark.pedantic(
+        figures.fig7_last_outage_curve,
+        args=(paper_scenario.wan.link_ids,),
+        kwargs={"horizon_days": 365, "seed": 1},
+        rounds=1, iterations=1)
+    samples = {d: f for d, f in points}
+    lines = ["look-back days   fraction   (paper: ~1/3 within 50 days)"]
+    for age in (10, 50, 100, 200, 364):
+        lines.append(f"   {age:4d}          {samples[age]:.2f}")
+    print_block("== Figure 7 — days since last outage ==\n"
+                + "\n".join(lines))
+
+    assert 0.15 < samples[50] < 0.6
+    fracs = [f for _d, f in points]
+    assert fracs == sorted(fracs)
+    # the total equals Figure 6's year-end coverage (same links)
+    assert abs(samples[364] - 0.8) < 0.25

@@ -1,0 +1,36 @@
+"""Figure 9 (Appendix B.1): accuracy vs training-window length.
+
+Paper: top-3 accuracy of Hist_AL/AP/A rises quickly with more training
+days and flattens by ~21 days, which is why the paper trains on 3 weeks.
+"""
+
+from repro.experiments import figures
+
+from conftest import print_block
+
+TRAIN_LENGTHS = (3, 7, 14, 21)
+TEST_STARTS = (21, 24)
+
+
+def test_fig9_training_window_sweep(medium_scenario, benchmark):
+    points = benchmark.pedantic(
+        figures.fig9_training_window_sweep,
+        args=(medium_scenario,),
+        kwargs={"train_lengths": TRAIN_LENGTHS, "test_starts": TEST_STARTS,
+                "test_days": 3},
+        rounds=1, iterations=1)
+    lines = ["train-days   mean-top3   min     max"]
+    for point in points:
+        lines.append(f"   {point.train_days:3d}       {point.mean * 100:6.2f}"
+                     f"   {point.min * 100:6.2f}  {point.max * 100:6.2f}")
+    print_block("== Figure 9 — accuracy vs training window ==\n"
+                + "\n".join(lines))
+
+    by_length = {p.train_days: p for p in points}
+    assert set(by_length) == set(TRAIN_LENGTHS)
+    # more training helps: 21 days beats 3 days
+    assert by_length[21].mean > by_length[3].mean
+    # and the curve flattens: the 14->21 gain is smaller than 3->7
+    gain_early = by_length[7].mean - by_length[3].mean
+    gain_late = by_length[21].mean - by_length[14].mean
+    assert gain_late < max(gain_early, 0.02) + 1e-9

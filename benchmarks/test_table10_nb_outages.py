@@ -1,0 +1,28 @@
+"""Table 10 (Appendix A): outage accuracy including Naive Bayes.
+
+Paper values (top3): NB_A 51.87 < Hist_A 66.53; NB_AL 65.07 <
+Hist_AL 73.82; Hist_AL/NB_AL 74.74 >= Hist_AL.  Key shape: NB degrades
+more than Hist under outages, but the Hist/NB ensemble recovers a bit
+of transfer learning.
+"""
+
+from repro.experiments import paper, tables
+
+from conftest import print_block
+
+
+def test_table10_nb_outages(paper_result_nb, benchmark):
+    rows = benchmark(tables.table10_nb_outages, paper_result_nb)
+    print_block(tables.format_block(
+        "Table 10 — outage accuracy with Naive Bayes", rows,
+        tables.ACCURACY_HEADER))
+    print_block(paper.format_comparison(
+        paper_result_nb.outages_all.rows, paper.PAPER_TABLE10, "Table 10"))
+
+    got = paper_result_nb.outages_all.rows
+    assert paper_result_nb.outages_all.total_bytes > 0
+    # NB stays below the matching Hist model under outages too
+    assert got["NB_AL"][3] <= got["Hist_AL"][3] + 0.02
+    # outages hurt NB as well: below its own overall accuracy
+    overall = paper_result_nb.overall.rows
+    assert got["NB_AL"][1] < overall["NB_AL"][1]

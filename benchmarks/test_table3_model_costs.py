@@ -1,0 +1,72 @@
+"""Tables 3 and 11: empirical model costs.
+
+The paper's cost model: historical training is O(n) single-pass,
+prediction O(1) lookup, model size O(unique tuples); Naive Bayes
+prediction is O(l log l) over all links and its model can exceed the
+historical model's size.  This benchmark measures all of it on the
+full-size training set and checks the orderings.
+"""
+
+import time
+
+from repro.core import (
+    FEATURES_A,
+    FEATURES_AL,
+    FEATURES_AP,
+    HistoricalModel,
+    NaiveBayesModel,
+)
+from repro.experiments import tables
+
+from conftest import print_block
+
+
+def _train(model, counts):
+    start = time.perf_counter()
+    counts.fit([model])
+    return time.perf_counter() - start
+
+
+def _predict_micros(model, contexts, k=3):
+    start = time.perf_counter()
+    for context in contexts:
+        model.predict(context, k)
+    return (time.perf_counter() - start) / len(contexts) * 1e6
+
+
+def test_table3_and_11_model_costs(paper_train_counts, benchmark):
+    counts = paper_train_counts
+    contexts = [context for (context, _link) in
+                list(counts.counts)[:2000]]
+
+    hist_models = {
+        "Hist_A": HistoricalModel(FEATURES_A),
+        "Hist_AP": HistoricalModel(FEATURES_AP),
+        "Hist_AL": HistoricalModel(FEATURES_AL),
+    }
+    nb_models = {
+        "NB_A": NaiveBayesModel(FEATURES_A),
+        "NB_AL": NaiveBayesModel(FEATURES_AL),
+    }
+    rows = []
+    for name, model in {**hist_models, **nb_models}.items():
+        train_s = _train(model, counts)
+        predict_us = _predict_micros(model, contexts)
+        rows.append(tables.CostRow(name, train_s, predict_us, model.size()))
+    print_block(tables.format_block(
+        "Tables 3/11 — measured model costs", rows, tables.COST_HEADER))
+
+    by_name = {r.model: r for r in rows}
+    # Table 1 ordering of model sizes: |A| <= |AL| <= |AP|
+    assert (by_name["Hist_A"].size_entries
+            <= by_name["Hist_AL"].size_entries
+            <= by_name["Hist_AP"].size_entries)
+    # historical prediction is a lookup: strictly cheaper than NB's
+    # all-links scoring (paper: O(1) vs O(l log l))
+    assert (by_name["Hist_AL"].predict_micros
+            < by_name["NB_AL"].predict_micros)
+
+    # benchmark the O(1) lookup itself
+    hist_ap = hist_models["Hist_AP"]
+    sample = contexts[0]
+    benchmark(hist_ap.predict, sample, 3)

@@ -1,0 +1,41 @@
+"""Table 4: overall prediction accuracy (3 weeks train / 1 week test).
+
+Paper values (Azure WAN, Nov-Dec 2021) for comparison:
+
+    Model          Top1   Top2   Top3
+    Oracle_A       61.74  84.03  90.55
+    Hist_A         59.36  82.07  89.02
+    Oracle_AP      80.66  98.13  99.46
+    Hist_AP        75.62  95.28  97.09
+    Oracle_AL      72.31  93.81  97.34
+    Hist_AL        69.62  91.85  95.73
+    Hist_AL+G      69.62  91.93  95.86
+    Hist_AP/AL/A   76.02  95.95  97.88   (best)
+    Hist_AL/AP/A   69.64  91.87  95.76
+
+Expected shape: AP/AL models >90% @k=3, every Hist close to its oracle,
+and the AP-led ensemble the best non-oracle model.
+"""
+
+from repro.experiments import paper, tables
+
+from conftest import print_block
+
+
+def test_table4_overall(paper_result, benchmark):
+    rows = benchmark(tables.table4_overall, paper_result)
+    print_block(tables.format_block(
+        "Table 4 — overall accuracy", rows, tables.ACCURACY_HEADER))
+    print_block(paper.format_comparison(
+        paper_result.overall.rows, paper.PAPER_TABLE4, "Table 4"))
+
+    got = paper_result.overall.rows
+    # shape assertions (who wins, roughly by how much)
+    assert got["Hist_AP"][3] > 0.90
+    assert got["Hist_AL"][3] > 0.90
+    assert got["Hist_AP/AL/A"][3] >= got["Hist_AP"][3] - 1e-9
+    assert paper_result.overall.best_model(3) == "Hist_AP/AL/A"
+    # each historical model sits close beneath its oracle
+    for fs in ("A", "AP", "AL"):
+        gap = got[f"Oracle_{fs}"][3] - got[f"Hist_{fs}"][3]
+        assert 0.0 <= gap < 0.08

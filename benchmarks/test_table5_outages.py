@@ -1,0 +1,38 @@
+"""Table 5: accuracy for traffic affected by any peering link outage.
+
+Paper values (top3): Oracle_AL 97.33, Hist_AL 70.65, Hist_AL+G 76.42
+(best), Hist_AP 64.08, Hist_A 67.45.  Key shape: outage traffic is much
+harder than normal traffic, and geographic completion (AL+G) is the best
+model overall under outages.
+"""
+
+from repro.experiments import paper, tables
+
+from conftest import print_block
+
+
+def test_table5_outages_all(paper_result, benchmark):
+    rows = benchmark(tables.table5_outages_all, paper_result)
+    print_block(tables.format_block(
+        "Table 5 — accuracy on all outage-affected traffic", rows,
+        tables.ACCURACY_HEADER))
+    print_block(paper.format_comparison(
+        paper_result.outages_all.rows, paper.PAPER_TABLE5, "Table 5"))
+    stats = paper_result.stats
+    print_block(
+        f"outage bytes: {stats['outage_bytes']:.3g} "
+        f"({stats['outage_bytes'] / stats['total_bytes']:.3%} of test "
+        f"traffic); unseen fraction {stats['unseen_fraction']:.0%} "
+        "(paper: ~57%)")
+
+    got = paper_result.outages_all.rows
+    overall = paper_result.overall.rows
+    # outage traffic is harder than normal traffic for every Hist model
+    for model in ("Hist_A", "Hist_AP", "Hist_AL"):
+        assert got[model][1] < overall[model][1]
+    # AL+G is the best non-oracle model at top-1 and top-3 (paper's bold)
+    non_oracle = {m: ks for m, ks in got.items()
+                  if not m.startswith("Oracle")}
+    assert got["Hist_AL+G"][3] == max(ks[3] for ks in non_oracle.values())
+    # geographic completion beats plain AL under outages
+    assert got["Hist_AL+G"][3] > got["Hist_AL"][3]

@@ -1,0 +1,25 @@
+"""BGP substrate: messages, RIBs, policy, propagation, ingress simulation."""
+
+from .messages import Announcement, Origin, Route, Withdrawal
+from .policy import best_route, best_routes, compare, sort_key
+from .rib import AdjRibIn, EdgeRouter, LocRib
+from .state import AdvertisementState
+from .propagation import (
+    MAX_NEXTHOPS,
+    RouteInfo,
+    RoutingTable,
+    SPRAY_TOLERANCE,
+    compute_routing_table,
+    default_bias,
+)
+from .simulator import IngressSimulator, ShareVector, SimulatorParams
+
+__all__ = [
+    "Announcement", "Origin", "Route", "Withdrawal",
+    "best_route", "best_routes", "compare", "sort_key",
+    "AdjRibIn", "EdgeRouter", "LocRib",
+    "AdvertisementState",
+    "MAX_NEXTHOPS", "RouteInfo", "RoutingTable", "SPRAY_TOLERANCE",
+    "compute_routing_table", "default_bias",
+    "IngressSimulator", "ShareVector", "SimulatorParams",
+]

@@ -1,0 +1,91 @@
+"""BGP message and route types.
+
+These types are used by the WAN edge-router model (:mod:`repro.bgp.rib`),
+by the BMP telemetry feed (:mod:`repro.telemetry.bmp`), and by the
+congestion mitigation system when it injects withdrawals (paper §4.4).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class Origin(enum.IntEnum):
+    """BGP ORIGIN attribute (lower is preferred)."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+@dataclass(frozen=True)
+class Route:
+    """A BGP route: prefix plus path attributes.
+
+    Attributes:
+        prefix: destination prefix in CIDR notation.
+        as_path: AS path, nearest AS first; the origin AS is last.
+        next_hop: opaque next-hop identifier (router name or peer name).
+        local_pref: LOCAL_PREF (higher preferred); assigned on import.
+        med: MULTI_EXIT_DISC (lower preferred, comparable between routes
+            from the same neighbor AS).
+        origin: ORIGIN attribute.
+    """
+
+    prefix: str
+    as_path: Tuple[int, ...]
+    next_hop: str
+    local_pref: int = 100
+    med: int = 0
+    origin: Origin = Origin.IGP
+
+    @property
+    def origin_as(self) -> Optional[int]:
+        return self.as_path[-1] if self.as_path else None
+
+    @property
+    def neighbor_as(self) -> Optional[int]:
+        return self.as_path[0] if self.as_path else None
+
+    def has_loop(self, asn: int) -> bool:
+        """AS-path loop detection: is ``asn`` already on the path?"""
+        return asn in self.as_path
+
+    def prepended(self, asn: int, times: int = 1) -> "Route":
+        """A copy of this route with ``asn`` prepended ``times`` times."""
+        if times < 1:
+            raise ValueError("prepend count must be >= 1")
+        return Route(
+            prefix=self.prefix,
+            as_path=(asn,) * times + self.as_path,
+            next_hop=self.next_hop,
+            local_pref=self.local_pref,
+            med=self.med,
+            origin=self.origin,
+        )
+
+
+_message_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """A BGP UPDATE announcing a route on a session."""
+
+    session: str
+    route: Route
+    timestamp: float = 0.0
+    seq: int = field(default_factory=lambda: next(_message_counter))
+
+
+@dataclass(frozen=True)
+class Withdrawal:
+    """A BGP UPDATE withdrawing a prefix from a session."""
+
+    session: str
+    prefix: str
+    timestamp: float = 0.0
+    seq: int = field(default_factory=lambda: next(_message_counter))

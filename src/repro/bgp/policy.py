@@ -1,0 +1,67 @@
+"""BGP decision process.
+
+Implements the standard best-path selection order used by the RIB and,
+conceptually, by the AS-level propagation model:
+
+1. highest LOCAL_PREF (set on import from the business relationship),
+2. shortest AS path,
+3. lowest ORIGIN,
+4. lowest MED (compared only between routes from the same neighbor AS),
+5. deterministic tie-break (lowest neighbor ASN, then next-hop).
+
+The synthetic Internet adds hot-potato (nearest-exit) selection at the
+link level; that geographic step lives in :mod:`repro.bgp.simulator`
+because it needs metro coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from .messages import Route
+
+
+def sort_key(route: Route) -> Tuple:
+    """Total-order key such that ``min`` picks the best route.
+
+    MED is incomparable across neighbor ASes in real BGP; including it
+    after the neighbor ASN in the key yields the common
+    ``always-compare-med=false``-compatible deterministic behaviour.
+    """
+    return (
+        -route.local_pref,
+        len(route.as_path),
+        int(route.origin),
+        route.neighbor_as if route.neighbor_as is not None else -1,
+        route.med,
+        route.next_hop,
+    )
+
+
+def best_route(routes: Iterable[Route]) -> Optional[Route]:
+    """The single best route, or None if no routes."""
+    routes = list(routes)
+    if not routes:
+        return None
+    return min(routes, key=sort_key)
+
+
+def best_routes(routes: Iterable[Route]) -> List[Route]:
+    """All routes tied on (LOCAL_PREF, path length, origin) — the multipath
+    (ECMP) candidate set, sorted by the deterministic tie-break."""
+    routes = sorted(routes, key=sort_key)
+    if not routes:
+        return []
+    head = routes[0]
+    key = (head.local_pref, len(head.as_path), int(head.origin))
+    return [r for r in routes if (r.local_pref, len(r.as_path), int(r.origin)) == key]
+
+
+def compare(a: Route, b: Route) -> int:
+    """Classic comparator: negative if ``a`` is preferred over ``b``."""
+    ka, kb = sort_key(a), sort_key(b)
+    if ka < kb:
+        return -1
+    if ka > kb:
+        return 1
+    return 0

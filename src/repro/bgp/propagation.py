@@ -1,0 +1,146 @@
+"""AS-level route propagation for anycast prefixes.
+
+Computes, per availability state, each AS's route to the cloud WAN under
+Gao-Rexford (valley-free) policy.  Because the WAN buys transit from no
+one, routes to it propagate in exactly one pattern:
+
+* ASes that directly peer with the WAN (and still have an available link
+  for the prefix) use their own links — a peer/customer-learned route with
+  the highest preference ("direct" below);
+* such routes are exported **only to customers**, so every other AS
+  reaches the WAN through a chain of its *providers* that tops out at some
+  direct neighbor.
+
+The per-AS result is a :class:`RouteInfo`: whether the AS is direct, its
+AS-hop distance, and its ranked provider next-hops.  Ranking mixes the
+true distance with the AS's opaque ``policy_bias``, which stands in for
+the confidential local policies the paper highlights (§2, challenge 1/3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from ..topology.asgraph import ASGraph
+from ..util.hashing import unit
+
+#: rank slack within which multiple providers count as spray candidates
+SPRAY_TOLERANCE = 0.45
+#: maximum number of ranked next-hops kept per AS
+MAX_NEXTHOPS = 3
+
+
+@dataclass(frozen=True)
+class RouteInfo:
+    """One AS's route to the WAN under a given availability state.
+
+    Attributes:
+        direct: the AS has at least one available peering link of its own.
+        dist: AS-hop distance to the WAN (1 if direct).
+        nexthops: provider ASNs ranked by (distance + policy bias); used
+            when the AS is not direct (or as fallback in what-if analyses).
+    """
+
+    direct: bool
+    dist: int
+    nexthops: Tuple[int, ...]
+
+
+class RoutingTable:
+    """Per-AS :class:`RouteInfo` for one seeded-neighbor set."""
+
+    def __init__(self, infos: Dict[int, RouteInfo], seeded: FrozenSet[int]):
+        self._infos = infos
+        self.seeded = seeded
+
+    def get(self, asn: int) -> Optional[RouteInfo]:
+        return self._infos.get(asn)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._infos
+
+    def __len__(self) -> int:
+        return len(self._infos)
+
+    def reachable_asns(self) -> Tuple[int, ...]:
+        return tuple(self._infos)
+
+    def distance(self, asn: int) -> Optional[int]:
+        info = self._infos.get(asn)
+        return info.dist if info else None
+
+
+def compute_routing_table(
+    graph: ASGraph,
+    seeded: FrozenSet[int],
+    bias: Callable[[int, int], float],
+) -> RoutingTable:
+    """Compute every AS's route to the WAN for one seeded-neighbor set.
+
+    Args:
+        graph: the AS topology.
+        seeded: ASNs that currently have >= 1 available peering link with
+            the WAN for the prefix under consideration.
+        bias: ``bias(asn, provider) -> float`` opaque policy bias added to
+            next-hop ranking (stable per scenario).
+
+    Returns:
+        A :class:`RoutingTable`.  ASes with no route at all are absent.
+    """
+    dist: Dict[int, int] = {}
+    queue: deque = deque()
+    for asn in seeded:
+        if asn in graph:
+            dist[asn] = 1
+            queue.append(asn)
+
+    # BFS down the provider->customer edges: a customer learns the route
+    # from its provider one hop further out.  Because every edge adds
+    # exactly 1, FIFO order yields shortest distances.
+    while queue:
+        asn = queue.popleft()
+        d = dist[asn]
+        for customer in graph.customers(asn):
+            if customer not in dist:
+                dist[customer] = d + 1
+                queue.append(customer)
+
+    infos: Dict[int, RouteInfo] = {}
+    for asn, d in dist.items():
+        providers = [p for p in graph.providers(asn) if p in dist]
+        ranked: List[Tuple[float, int]] = sorted(
+            ((dist[p] + 1 + bias(asn, p), p) for p in providers),
+        )
+        nexthops: Tuple[int, ...] = ()
+        if ranked:
+            best_rank = ranked[0][0]
+            nexthops = tuple(
+                p for rank, p in ranked[:MAX_NEXTHOPS] if rank <= best_rank + SPRAY_TOLERANCE
+            )
+        direct = asn in seeded
+        if direct:
+            infos[asn] = RouteInfo(True, 1, nexthops)
+        else:
+            # distance via the best provider (BFS distance)
+            infos[asn] = RouteInfo(False, d, nexthops)
+    return RoutingTable(infos, seeded)
+
+
+def default_bias(graph: ASGraph, seed: int) -> Callable[[int, int], float]:
+    """Policy-bias function derived from each AS's ``policy_bias`` field.
+
+    The bias is a stable pseudo-random value in ``[0, node.policy_bias]``
+    per (AS, provider) pair — different ASes weight the 'same' choice
+    differently, and TIPSY can never observe why.
+    """
+    nodes = {node.asn: node.policy_bias for node in graph.nodes()}
+
+    def bias(asn: int, provider: int) -> float:
+        scale = nodes.get(asn, 0.0)
+        if scale <= 0.0:
+            return 0.0
+        return scale * unit(asn, provider, seed=seed)
+
+    return bias

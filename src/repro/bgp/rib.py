@@ -1,0 +1,145 @@
+"""Routing information bases for the WAN edge-router model.
+
+Each WAN edge router terminates eBGP sessions (peering links).  The RIB
+model here is deliberately faithful-but-small: an Adj-RIB-In per session,
+a Loc-RIB computed by the decision process, and an outbound advertisement
+set per session that the congestion mitigation system manipulates by
+injecting withdrawals (paper §4.4).  The BMP feed (paper §4.1) mirrors
+Adj-RIB-In contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .messages import Announcement, Route, Withdrawal
+from .policy import best_route
+
+
+class AdjRibIn:
+    """Per-session inbound RIB: the last route received per prefix."""
+
+    def __init__(self, session: str):
+        self.session = session
+        self._routes: Dict[str, Route] = {}
+
+    def apply(self, message) -> None:
+        """Apply an Announcement or Withdrawal for this session."""
+        if isinstance(message, Announcement):
+            if message.session != self.session:
+                raise ValueError("message for a different session")
+            self._routes[message.route.prefix] = message.route
+        elif isinstance(message, Withdrawal):
+            if message.session != self.session:
+                raise ValueError("message for a different session")
+            self._routes.pop(message.prefix, None)
+        else:
+            raise TypeError(f"unsupported message type {type(message)!r}")
+
+    def route_for(self, prefix: str) -> Optional[Route]:
+        return self._routes.get(prefix)
+
+    def prefixes(self) -> Tuple[str, ...]:
+        return tuple(self._routes)
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+
+class LocRib:
+    """Best routes per prefix across all of a router's sessions."""
+
+    def __init__(self):
+        self._best: Dict[str, Route] = {}
+
+    def recompute(self, prefix: str, candidates: Iterable[Route]) -> Optional[Route]:
+        """Re-run the decision process for one prefix."""
+        best = best_route(candidates)
+        if best is None:
+            self._best.pop(prefix, None)
+        else:
+            self._best[prefix] = best
+        return best
+
+    def best_for(self, prefix: str) -> Optional[Route]:
+        return self._best.get(prefix)
+
+    def prefixes(self) -> Tuple[str, ...]:
+        return tuple(self._best)
+
+
+class EdgeRouter:
+    """A WAN edge router: sessions in, decision process, advertisements out.
+
+    The router both *receives* routes from peers (feeding BMP) and
+    *advertises* the WAN's anycast prefixes to peers.  CMS-injected
+    withdrawals remove prefixes from a session's advertisement set; later
+    re-announcement restores them.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._sessions: Dict[str, AdjRibIn] = {}
+        self.loc_rib = LocRib()
+        # outbound: session -> set of advertised prefixes
+        self._advertised: Dict[str, Set[str]] = {}
+        self._log: List[object] = []
+
+    # -- session management -------------------------------------------------
+
+    def add_session(self, session: str) -> None:
+        if session in self._sessions:
+            raise ValueError(f"session {session!r} already exists on {self.name}")
+        self._sessions[session] = AdjRibIn(session)
+        self._advertised[session] = set()
+
+    def sessions(self) -> Tuple[str, ...]:
+        return tuple(self._sessions)
+
+    def adj_rib_in(self, session: str) -> AdjRibIn:
+        return self._sessions[session]
+
+    # -- inbound ------------------------------------------------------------
+
+    def receive(self, message) -> None:
+        """Apply an inbound message and recompute the affected prefix."""
+        session = message.session
+        if session not in self._sessions:
+            raise KeyError(f"unknown session {session!r} on {self.name}")
+        self._sessions[session].apply(message)
+        prefix = message.route.prefix if isinstance(message, Announcement) else message.prefix
+        candidates = [
+            rib.route_for(prefix)
+            for rib in self._sessions.values()
+            if rib.route_for(prefix) is not None
+        ]
+        self.loc_rib.recompute(prefix, candidates)
+        self._log.append(message)
+
+    # -- outbound (anycast advertisements, CMS control) ----------------------
+
+    def announce(self, session: str, prefix: str) -> Announcement:
+        """Advertise a WAN prefix on a session; returns the message sent."""
+        self._advertised[session].add(prefix)
+        message = Announcement(session=session, route=Route(prefix=prefix, as_path=(), next_hop=self.name))
+        self._log.append(message)
+        return message
+
+    def withdraw(self, session: str, prefix: str) -> Withdrawal:
+        """Withdraw a WAN prefix from a session (CMS injection)."""
+        self._advertised[session].discard(prefix)
+        message = Withdrawal(session=session, prefix=prefix)
+        self._log.append(message)
+        return message
+
+    def is_advertised(self, session: str, prefix: str) -> bool:
+        return prefix in self._advertised.get(session, ())
+
+    def advertised(self, session: str) -> Tuple[str, ...]:
+        return tuple(sorted(self._advertised.get(session, ())))
+
+    @property
+    def message_log(self) -> Tuple[object, ...]:
+        """All messages processed or emitted, in order (consumed by BMP)."""
+        return tuple(self._log)

@@ -1,0 +1,491 @@
+"""Ground-truth ingress resolution for the synthetic Internet.
+
+Given a flow (source AS, source metro, source /24, destination prefix) and
+the current advertisement state, the simulator computes the distribution of
+the flow's bytes over the WAN's peering links.  This plays the role the
+real Internet played for Azure: the TIPSY predictor never calls it — it
+only sees IPFIX-style telemetry derived from its output.
+
+The resolution pipeline per flow:
+
+1. **Origin egress.** If the source AS has usable peering links of its own
+   (respecting pockets — isolated islands that can only use local exits),
+   it delivers directly.  Otherwise it hands off to one or two ranked
+   provider next-hops (the second with a small weight, modelling egress
+   load balancing).
+2. **Path walk.** Each intermediate AS either delivers (if it has usable
+   links) or forwards to its best-ranked provider; the flow's geographic
+   "entry point" advances to the nearest metro of each next AS's footprint.
+3. **Hot-potato link choice.** The delivering AS ranks its usable links by
+   distance from the flow's entry metro; links within a tolerance form an
+   ECMP set.  A stable per-flow hash picks the primary; the byte share is
+   split ~[p, (1-p)·w, (1-p)·(1-w)] over the first three links, with p
+   drawn per flow from a configurable range.  This produces the imperfect
+   top-1 oracle of paper Figure 5.
+4. **Slow drift.** Each flow has deterministic "shift days" after which its
+   link rotation (minor) or origin next-hop (major) changes — the
+   Internet's slow routing churn behind paper Figure 10.
+
+A crucial design choice (DESIGN.md §4): every hash-based choice is keyed
+by the *identity of the candidate set*, not just the flow.  Withdrawing a
+link therefore re-draws the choice among the survivors — deterministic
+(the same withdrawal always lands the same way, so models that saw an
+outage in training predict its repeat accurately, paper Table 6) yet
+unknowable from pre-withdrawal history alone (models that never saw it
+degrade, paper Table 7).  Geography still constrains the outcome, which
+is why the AL+G completion recovers much of the loss.
+
+Results are cached per (flow, removal-key, drift-state); routing tables
+are cached per seeded-neighbor set, so week-long simulations stay fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..topology.asgraph import ASGraph
+from ..topology.wan import CloudWAN, PeeringLink
+from ..util.hashing import geometric_day, mix64, rotation, unit
+from .propagation import RoutingTable, compute_routing_table, default_bias
+from .state import AdvertisementState
+
+#: (link_id, fraction) pairs, descending fraction; fractions sum to 1.0
+ShareVector = Tuple[Tuple[int, float], ...]
+
+_EMPTY_REMOVED: FrozenSet[int] = frozenset()
+
+
+@dataclass
+class SimulatorParams:
+    """Behavioural knobs of the synthetic Internet's routing."""
+
+    # a delivering AS considers its nearest `candidate_pool_size` links
+    # within `reroute_radius_km` of the closest one
+    candidate_pool_size: int = 5
+    reroute_radius_km: float = 2500.0
+    # geometric decay of link preference with distance rank: the nearest
+    # link is chosen as primary with probability ~ 1/(sum of locality^i).
+    # Smaller = more strictly hot-potato; larger = more regional spread.
+    locality: float = 0.35
+    # per-flow primary byte share lies in [lo, hi]; the skew exponent
+    # biases the draw toward hi, so many flows are near-single-link (their
+    # secondaries vanish under IPFIX sampling and history has no fallback
+    # to offer when their link is withdrawn — the paper's unseen-outage
+    # failure mode) while a spread-out minority keeps oracles imperfect.
+    primary_share_lo: float = 0.60
+    primary_share_hi: float = 0.995
+    primary_share_skew: float = 2.0
+    # fraction of the non-primary remainder that goes to the 2nd link
+    secondary_weight: float = 0.75
+    # weight of the origin AS's secondary next-hop (egress load balancing)
+    origin_split: float = 0.15
+    # daily probability that a flow's link rotation / next-hop shifts
+    minor_drift_daily: float = 0.006
+    major_drift_daily: float = 0.002
+    max_walk_depth: int = 24
+    # ingress TE (AS-path prepending): each prepend hop adds this much
+    # effective distance to a link's hot-potato rank, and each upstream
+    # AS honours the hint only with this probability (§2: prepending is
+    # coarse and "may just be ignored by ASes along the path")
+    te_prepend_km: float = 1200.0
+    te_compliance: float = 0.85
+
+
+class IngressSimulator:
+    """Resolves flows to peering-link byte shares under a routing state."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        wan: CloudWAN,
+        params: Optional[SimulatorParams] = None,
+        seed: int = 0,
+    ):
+        self.graph = graph
+        self.wan = wan
+        self.params = params or SimulatorParams()
+        self.seed = seed
+        self._bias = default_bias(graph, seed)
+        self._links_by_peer: Dict[int, Tuple[PeeringLink, ...]] = {
+            asn: wan.links_of_peer(asn) for asn in wan.peer_asns
+        }
+        self._peer_asns = frozenset(a for a in wan.peer_asns if a in graph)
+        self._table_by_removed: Dict[FrozenSet[int], RoutingTable] = {}
+        self._table_by_seeded: Dict[FrozenSet[int], RoutingTable] = {}
+        self._share_cache: Dict[Tuple, ShareVector] = {}
+        self._visited_cache: Dict[Tuple, Tuple[int, ...]] = {}
+        self._entry_cache: Dict[Tuple[int, str], str] = {}
+        self._removed_peers_cache: Dict[FrozenSet[int], FrozenSet[int]] = {}
+        self._drift_cache: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+        self._ranked_cache: Dict[Tuple, Tuple[PeeringLink, ...]] = {}
+        self._p_cache: Dict[Tuple[int, int], float] = {}
+
+    # -- routing tables -----------------------------------------------------
+
+    def routing_table(self, removed: FrozenSet[int]) -> RoutingTable:
+        """AS-level routing table for a set of removed links (cached)."""
+        table = self._table_by_removed.get(removed)
+        if table is not None:
+            return table
+        seeded = frozenset(
+            asn
+            for asn in self._peer_asns
+            if any(l.link_id not in removed for l in self._links_by_peer[asn])
+        )
+        table = self._table_by_seeded.get(seeded)
+        if table is None:
+            table = compute_routing_table(self.graph, seeded, self._bias)
+            self._table_by_seeded[seeded] = table
+        self._table_by_removed[removed] = table
+        return table
+
+    def as_distance(self, asn: int) -> Optional[int]:
+        """AS-hop distance to the WAN under full availability (Figure 2)."""
+        return self.routing_table(frozenset()).distance(asn)
+
+    # -- drift ----------------------------------------------------------------
+
+    def drift_days(self, src_asn: int, src_prefix: int,
+                   dest_prefix: int) -> Tuple[int, int]:
+        """(minor shift day, major shift day) for a flow (memoized)."""
+        key = (src_asn, src_prefix, dest_prefix)
+        days = self._drift_cache.get(key)
+        if days is None:
+            days = (
+                geometric_day(self.params.minor_drift_daily,
+                              src_asn, src_prefix, dest_prefix, 11,
+                              seed=self.seed),
+                geometric_day(self.params.major_drift_daily,
+                              src_asn, src_prefix, dest_prefix, 13,
+                              seed=self.seed),
+            )
+            self._drift_cache[key] = days
+        return days
+
+    def drift_state(self, src_asn: int, src_prefix: int, dest_prefix: int,
+                    day: Optional[int]) -> Tuple[bool, bool]:
+        """(minor_shifted, major_shifted) for a flow on a given day."""
+        if day is None:
+            return (False, False)
+        minor_day, major_day = self.drift_days(src_asn, src_prefix, dest_prefix)
+        return (day >= minor_day, day >= major_day)
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve_shares(
+        self,
+        src_asn: int,
+        src_metro: str,
+        src_prefix: int,
+        dest_prefix: int,
+        state: AdvertisementState,
+        day: Optional[int] = None,
+    ) -> ShareVector:
+        """Distribution of a flow's bytes over peering links (cached).
+
+        Returns an empty tuple if the flow has no route to the WAN (all
+        candidate paths withdrawn) — callers account those bytes as lost.
+        """
+        removed = state.removal_key(dest_prefix)
+        prepends = state.prepend_key(dest_prefix)
+        minor, major = self.drift_state(src_asn, src_prefix, dest_prefix, day)
+        key = (src_asn, src_metro, src_prefix, dest_prefix, removed,
+               prepends, minor, major)
+        shares = self._share_cache.get(key)
+        if shares is None:
+            if prepends:
+                # TE prefixes are rare; resolve them fully
+                shares = self._resolve(src_asn, src_metro, src_prefix,
+                                       dest_prefix, removed, minor, major,
+                                       prepends=dict(prepends))
+            else:
+                shares = self._resolve_with_shortcut(
+                    src_asn, src_metro, src_prefix, dest_prefix, removed,
+                    minor, major)
+            self._share_cache[key] = shares
+        return shares
+
+    def _resolve_with_shortcut(
+        self, src_asn: int, src_metro: str, src_prefix: int, dest_prefix: int,
+        removed: FrozenSet[int], minor: bool, major: bool,
+    ) -> ShareVector:
+        """Skip re-resolution for flows a removal cannot affect.
+
+        A removal changes a flow's outcome only if (a) a removed link
+        belongs to an AS the flow delivers to under full availability, or
+        (b) AS-level routing changed (some peer fully de-seeded) for an AS
+        the flow's path walk actually visited.  Outside those cases the
+        full-availability result is reused, which makes week-long
+        simulations with dozens of concurrent outages cheap.
+        """
+        if not removed:
+            return self._resolve(src_asn, src_metro, src_prefix, dest_prefix,
+                                 removed, minor, major)
+        base_key = (src_asn, src_metro, src_prefix, dest_prefix,
+                    _EMPTY_REMOVED, (), minor, major)
+        base = self._share_cache.get(base_key)
+        if base is None:
+            base = self._resolve(src_asn, src_metro, src_prefix,
+                                 dest_prefix, _EMPTY_REMOVED, minor, major)
+            self._share_cache[base_key] = base
+        delivering = {self.wan.link(l).peer_asn for l, _ in base}
+        if delivering & self._removed_peers(removed):
+            return self._resolve(src_asn, src_metro, src_prefix, dest_prefix,
+                                 removed, minor, major)
+        base_table = self.routing_table(_EMPTY_REMOVED)
+        new_table = self.routing_table(removed)
+        if new_table is not base_table:
+            visited = self._visited_cache.get(base_key, ())
+            for asn in visited:
+                if base_table.get(asn) != new_table.get(asn):
+                    return self._resolve(src_asn, src_metro, src_prefix,
+                                         dest_prefix, removed, minor, major)
+        return base
+
+    def _removed_peers(self, removed: FrozenSet[int]) -> FrozenSet[int]:
+        cached = self._removed_peers_cache.get(removed)
+        if cached is None:
+            cached = frozenset(self.wan.link(l).peer_asn for l in removed)
+            self._removed_peers_cache[removed] = cached
+        return cached
+
+    def _resolve(
+        self,
+        src_asn: int,
+        src_metro: str,
+        src_prefix: int,
+        dest_prefix: int,
+        removed: FrozenSet[int],
+        minor: bool,
+        major: bool,
+        prepends: Optional[Dict[int, int]] = None,
+    ) -> ShareVector:
+        if src_asn == self.wan.asn:
+            raise ValueError("internal WAN traffic has no ingress link")
+        if src_asn not in self.graph:
+            return ()
+        table = self.routing_table(removed)
+        node = self.graph.node(src_asn)
+        rotate_extra = (1 if minor else 0) + (2 if major else 0)
+        accum: Dict[int, float] = {}
+        visited: List[int] = [src_asn]
+
+        def add(links: Sequence[PeeringLink], entry: str, weight: float) -> None:
+            for link_id, frac in self._link_shares(
+                links, entry, src_prefix, dest_prefix, rotate_extra,
+                prepends=prepends,
+            ):
+                accum[link_id] = accum.get(link_id, 0.0) + frac * weight
+
+        pocket = node.pocket_for(src_metro)
+        own = [l for l in self._links_by_peer.get(src_asn, ()) if l.link_id not in removed]
+        if pocket is not None:
+            own = [l for l in own if l.metro in pocket.metros]
+            visited.extend(pocket.providers)
+
+        if own:
+            add(own, src_metro, 1.0)
+        else:
+            candidates = self._origin_candidates(src_asn, pocket, table)
+            if not candidates:
+                self._remember_visited(src_asn, src_metro, src_prefix,
+                                       dest_prefix, removed, minor, major,
+                                       visited)
+                return ()
+            # keyed by the candidate set: a change in the viable next-hops
+            # re-draws the choice among the survivors
+            rot = rotation(len(candidates), src_asn, src_prefix, dest_prefix, 3,
+                           *candidates, seed=self.seed)
+            ordered = candidates[rot:] + candidates[:rot]
+            if major and len(ordered) > 1:
+                ordered = ordered[1:] + ordered[:1]
+            picks = ordered[:2]
+            if len(picks) == 1:
+                weights = [1.0]
+            else:
+                weights = [1.0 - self.params.origin_split, self.params.origin_split]
+            delivered_weight = 0.0
+            for nh, w in zip(picks, weights):
+                entry = self._entry_metro(nh, src_metro)
+                outcome = self._walk(nh, entry, src_prefix, dest_prefix,
+                                     removed, table, visited)
+                if outcome is None:
+                    continue
+                d_metro, links = outcome
+                add(links, d_metro, w)
+                delivered_weight += w
+            if delivered_weight <= 0.0:
+                self._remember_visited(src_asn, src_metro, src_prefix,
+                                       dest_prefix, removed, minor, major,
+                                       visited)
+                return ()
+            if delivered_weight < 1.0:
+                accum = {k: v / delivered_weight for k, v in accum.items()}
+
+        self._remember_visited(src_asn, src_metro, src_prefix, dest_prefix,
+                               removed, minor, major, visited)
+        shares = tuple(sorted(accum.items(), key=lambda kv: (-kv[1], kv[0])))
+        return shares
+
+    def _remember_visited(self, src_asn: int, src_metro: str, src_prefix: int,
+                          dest_prefix: int, removed: FrozenSet[int],
+                          minor: bool, major: bool,
+                          visited: List[int]) -> None:
+        """Record the ASes a base resolution touched (shortcut support)."""
+        if not removed:
+            key = (src_asn, src_metro, src_prefix, dest_prefix,
+                   _EMPTY_REMOVED, (), minor, major)
+            self._visited_cache[key] = tuple(visited)
+
+    def _origin_candidates(self, src_asn: int, pocket, table: RoutingTable) -> List[int]:
+        """Ranked next-hop ASNs for an origin that cannot deliver itself."""
+        if pocket is not None:
+            candidates = [p for p in pocket.providers if p in table]
+            if candidates:
+                return candidates
+        info = table.get(src_asn)
+        if info is None:
+            return []
+        return list(info.nexthops)
+
+    def _walk(
+        self,
+        asn: int,
+        entry_metro: str,
+        src_prefix: int,
+        dest_prefix: int,
+        removed: FrozenSet[int],
+        table: RoutingTable,
+        visited: List[int],
+    ) -> Optional[Tuple[str, List[PeeringLink]]]:
+        """Follow the AS-level route until an AS with usable links delivers."""
+        for _ in range(self.params.max_walk_depth):
+            visited.append(asn)
+            info = table.get(asn)
+            if info is None:
+                return None
+            if info.direct:
+                links = [l for l in self._links_by_peer.get(asn, ())
+                         if l.link_id not in removed]
+                if links:
+                    return entry_metro, links
+                return None
+            if not info.nexthops:
+                return None
+            nexthops = info.nexthops
+            idx = rotation(len(nexthops), asn, src_prefix, dest_prefix, 5,
+                           *nexthops, seed=self.seed)
+            nh = nexthops[idx]
+            entry_metro = self._entry_metro(nh, entry_metro)
+            asn = nh
+        return None
+
+    def _entry_metro(self, asn: int, from_metro: str) -> str:
+        """Where traffic coming from ``from_metro`` enters AS ``asn``."""
+        key = (asn, from_metro)
+        entry = self._entry_cache.get(key)
+        if entry is None:
+            footprint = self.graph.node(asn).footprint
+            entry = self.graph.metros.nearest(from_metro, footprint)
+            self._entry_cache[key] = entry
+        return entry
+
+    def _link_shares(
+        self,
+        links: Sequence[PeeringLink],
+        entry_metro: str,
+        src_prefix: int,
+        dest_prefix: int,
+        rotate_extra: int,
+        prepends: Optional[Dict[int, int]] = None,
+    ) -> ShareVector:
+        """Hot-potato byte-share split over a delivering AS's links.
+
+        The nearest ``candidate_pool_size`` links within
+        ``reroute_radius_km`` of the closest exit form the candidate pool.
+        A deterministic weighted shuffle (Efraimidis-Spirakis with
+        geometric weights by distance rank) orders the pool per flow —
+        biased toward the nearest exit but not slavishly — and the byte
+        shares [p, (1-p)w, (1-p)(1-w)] go to the first three links.
+
+        The shuffle keys include the pool's membership, so withdrawing a
+        pool member re-draws the whole assignment among the survivors:
+        deterministic (repeats identically, hence learnable once seen)
+        but uncorrelated with the pre-withdrawal ranking (hence opaque to
+        pure history).
+        """
+        metros = self.graph.metros
+
+        def effective_distance(link: PeeringLink) -> float:
+            distance = metros.distance_km(entry_metro, link.metro)
+            if prepends:
+                times = prepends.get(link.link_id)
+                if times:
+                    # the hint is honoured per (delivering link, flow)
+                    # only with te_compliance probability
+                    honoured = unit(link.link_id, src_prefix, dest_prefix,
+                                    23, seed=self.seed)
+                    if honoured < self.params.te_compliance:
+                        distance += times * self.params.te_prepend_km
+            return distance
+
+        # the pool cache is only valid without TE state: compliance is
+        # per-flow, so prepended rankings are computed fresh (TE prefixes
+        # are rare — 0.7% in the paper's network)
+        rank_key = (entry_metro, tuple(l.link_id for l in links))
+        pool = None if prepends else self._ranked_cache.get(rank_key)
+        if pool is None:
+            ranked = sorted(
+                links,
+                key=lambda l: (effective_distance(l), l.link_id),
+            )
+            d0 = effective_distance(ranked[0])
+            radius = d0 + self.params.reroute_radius_km
+            pool = tuple(
+                l for l in ranked[: self.params.candidate_pool_size]
+                if effective_distance(l) <= radius
+            )
+            if not prepends:
+                self._ranked_cache[rank_key] = pool
+        # fold the pool membership into one hash base so each member draw
+        # is a single extra mixing round
+        pool_base = mix64(17, *(l.link_id for l in pool), seed=self.seed)
+        locality = self.params.locality
+        keyed = []
+        for rank, link in enumerate(pool):
+            weight = locality ** rank
+            u = unit(src_prefix, dest_prefix, link.link_id, seed=pool_base)
+            keyed.append((max(u, 1e-12) ** (1.0 / weight), link))
+        keyed.sort(key=lambda t: (-t[0], t[1].link_id))
+        ordered = [link for _key, link in keyed]
+        if rotate_extra and len(ordered) > 1:
+            shift = rotate_extra % len(ordered)
+            ordered = ordered[shift:] + ordered[:shift]
+
+        p_key = (src_prefix, dest_prefix)
+        p = self._p_cache.get(p_key)
+        if p is None:
+            u = unit(src_prefix, dest_prefix, 19, seed=self.seed)
+            p = self.params.primary_share_lo + (
+                self.params.primary_share_hi - self.params.primary_share_lo
+            ) * (1.0 - u ** self.params.primary_share_skew)
+            self._p_cache[p_key] = p
+        sw = self.params.secondary_weight
+        raw = [p, (1.0 - p) * sw, (1.0 - p) * (1.0 - sw)]
+        take = ordered[:3]
+        weights = raw[: len(take)]
+        total = sum(weights)
+        return tuple(
+            (link.link_id, w / total) for link, w in zip(take, weights)
+        )
+
+    # -- statistics -----------------------------------------------------------
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Cache occupancy, for logs and benchmarks."""
+        return {
+            "share_entries": len(self._share_cache),
+            "tables_by_removed": len(self._table_by_removed),
+            "tables_by_seeded": len(self._table_by_seeded),
+        }

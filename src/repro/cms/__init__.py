@@ -1,0 +1,25 @@
+"""Congestion mitigation system and risk analysis."""
+
+from .monitor import (
+    CongestionEvent,
+    SECONDS_PER_HOUR,
+    UtilizationMonitor,
+    bytes_to_utilization,
+)
+from .mitigation import (
+    CMSConfig,
+    CongestionMitigationSystem,
+    MitigationAction,
+    TrafficEntry,
+)
+from .risk import GroupRiskAnalyzer, GroupRiskFinding, RiskAnalyzer, RiskFinding
+from .depeering import DepeeringAnalyzer, DepeeringAssessment
+
+__all__ = [
+    "CongestionEvent", "SECONDS_PER_HOUR", "UtilizationMonitor",
+    "bytes_to_utilization",
+    "CMSConfig", "CongestionMitigationSystem", "MitigationAction",
+    "TrafficEntry",
+    "GroupRiskAnalyzer", "GroupRiskFinding", "RiskAnalyzer", "RiskFinding",
+    "DepeeringAnalyzer", "DepeeringAssessment",
+]

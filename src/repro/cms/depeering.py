@@ -1,0 +1,135 @@
+"""De-peering analysis (paper §8).
+
+"In the course of maintaining a large WAN, it is natural to consider
+de-peering to reduce cost and operational overhead with peers that add
+low value."  This analysis quantifies the question for each peer: how
+many bytes does its peering carry, and if the peer were removed
+entirely, could the remaining links absorb the traffic TIPSY predicts
+would shift to them?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.base import IngressModel
+from ..pipeline.records import FlowContext
+from ..topology.wan import CloudWAN
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class DepeeringAssessment:
+    """Can this peer be removed, and what happens if it is?"""
+
+    peer_asn: int
+    n_links: int
+    carried_bytes: float
+    carried_fraction: float       # of all assessed traffic
+    # predicted landing spots of the peer's traffic, descending bytes
+    predicted_spill: Tuple[Tuple[int, float], ...]
+    # bytes TIPSY could not place anywhere (flows with no alternative)
+    unplaceable_bytes: float
+    # links the spill would push over the safety threshold
+    overloaded_links: Tuple[int, ...]
+
+    @property
+    def safe(self) -> bool:
+        """Removable without predicted overload or stranded traffic."""
+        return not self.overloaded_links and self.unplaceable_bytes == 0.0
+
+
+class DepeeringAnalyzer:
+    """What-if analysis of removing whole peers."""
+
+    def __init__(self, wan: CloudWAN, model: IngressModel,
+                 safety_threshold: float = 0.85, prediction_k: int = 3):
+        self.wan = wan
+        self.model = model
+        self.safety_threshold = safety_threshold
+        self.prediction_k = prediction_k
+
+    def assess(
+        self,
+        peer_asn: int,
+        entries: Sequence[Tuple[int, FlowContext, float]],
+        hours: float = 1.0,
+    ) -> DepeeringAssessment:
+        """Assess removing one peer, given (link, flow, bytes) traffic.
+
+        Args:
+            peer_asn: the peer to hypothetically remove.
+            entries: observed traffic (typically one peak hour, as the
+                CMS uses — paper §4).
+            hours: duration the entries span, for utilization math.
+        """
+        peer_links = frozenset(
+            l.link_id for l in self.wan.links_of_peer(peer_asn))
+        if not peer_links:
+            raise KeyError(f"AS{peer_asn} does not peer with the WAN")
+
+        total = 0.0
+        carried = 0.0
+        base_load: Dict[int, float] = {}
+        affected: List[Tuple[FlowContext, float]] = []
+        for link_id, context, bytes_ in entries:
+            total += bytes_
+            base_load[link_id] = base_load.get(link_id, 0.0) + bytes_
+            if link_id in peer_links:
+                carried += bytes_
+                affected.append((context, bytes_))
+
+        spill: Dict[int, float] = {}
+        unplaceable = 0.0
+        for context, bytes_ in affected:
+            predictions = self.model.predict(context, self.prediction_k,
+                                             peer_links)
+            score_total = sum(p.score for p in predictions)
+            if score_total <= 0.0:
+                unplaceable += bytes_
+                continue
+            for p in predictions:
+                spill[p.link_id] = spill.get(p.link_id, 0.0) + (
+                    bytes_ * p.score / score_total)
+
+        overloaded = []
+        for link_id, extra in spill.items():
+            link = self.wan.link(link_id)
+            capacity_bytes = (link.capacity_gbps * 1e9 / 8.0
+                              * SECONDS_PER_HOUR * hours)
+            projected = (base_load.get(link_id, 0.0) + extra) / capacity_bytes
+            if projected > self.safety_threshold:
+                overloaded.append(link_id)
+
+        return DepeeringAssessment(
+            peer_asn=peer_asn,
+            n_links=len(peer_links),
+            carried_bytes=carried,
+            carried_fraction=carried / total if total else 0.0,
+            predicted_spill=tuple(sorted(spill.items(),
+                                         key=lambda kv: (-kv[1], kv[0]))),
+            unplaceable_bytes=unplaceable,
+            overloaded_links=tuple(sorted(overloaded)),
+        )
+
+    def rank_candidates(
+        self,
+        entries: Sequence[Tuple[int, FlowContext, float]],
+        max_carried_fraction: float = 0.02,
+        hours: float = 1.0,
+    ) -> List[DepeeringAssessment]:
+        """All low-value peers whose removal TIPSY deems safe.
+
+        Sorted by carried traffic ascending — the least valuable peering
+        first, the natural de-peering order.
+        """
+        candidates = []
+        for peer_asn in self.wan.peer_asns:
+            assessment = self.assess(peer_asn, entries, hours)
+            if (assessment.carried_fraction <= max_carried_fraction
+                    and assessment.safe):
+                candidates.append(assessment)
+        candidates.sort(key=lambda a: a.carried_bytes)
+        return candidates

@@ -1,0 +1,322 @@
+"""The congestion mitigation system (paper §4.4).
+
+When the monitor flags a congested ingress link, CMS:
+
+1. identifies the fewest destination prefixes (largest first) at the link
+   whose shift would bring utilization back under the target,
+2. asks TIPSY where each prefix's flows would land if withdrawn
+   (availability prior = the congested link plus anything already down),
+3. withdraws only prefixes whose predicted spill keeps every other link
+   under the safety threshold — the whole point of TIPSY: "only inject
+   such withdrawal messages when, with high probability, the mitigated
+   traffic will shift to new peering links with sufficient spare capacity",
+4. re-announces withdrawn prefixes once the link has calmed down.
+
+Without a predictor (``predictor=None``) CMS reverts to its pre-TIPSY
+behaviour: withdraw blindly and chase the resulting cascade — which is
+exactly the §2 incident, reproduced in ``examples/cascade_incident.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..bgp.state import AdvertisementState
+from ..core.base import IngressModel
+from ..pipeline.records import FlowContext
+from ..topology.wan import CloudWAN
+from .monitor import CongestionEvent, UtilizationMonitor
+
+
+@dataclass(frozen=True)
+class TrafficEntry:
+    """One observed flow aggregate for CMS decision making."""
+
+    link_id: int
+    dest_prefix_id: int
+    context: FlowContext
+    bytes: float
+
+
+@dataclass(frozen=True)
+class MitigationAction:
+    """A CMS decision, for the operator audit log."""
+
+    sample_index: int
+    kind: str                 # "withdraw" | "reannounce" | "skip-unsafe"
+    link_id: int
+    dest_prefix_id: int
+    predicted_spill: Tuple[Tuple[int, float], ...] = ()
+    note: str = ""
+
+
+@dataclass
+class CMSConfig:
+    """CMS behaviour knobs (paper defaults where stated)."""
+
+    threshold: float = 0.85        # trigger utilization (paper)
+    sustain_samples: int = 1       # consecutive samples (paper: 4 minutes)
+    target: float = 0.70           # shift enough traffic to get under this
+    safety: float = 0.85           # predicted spill must keep links under this
+    # re-announce a withdrawn prefix once its total observed volume has
+    # fallen to this fraction of what it was at withdrawal time (the
+    # paper re-announces "when traffic volumes have returned to normal")
+    reannounce_volume_fraction: float = 0.70
+    prediction_k: int = 3
+    max_withdrawals_per_event: int = 4
+    # when a single-link withdrawal would overload another link, plan the
+    # full set of links to withdraw from simultaneously (the §2 incident's
+    # "better option": withdraw at I1-I4 at once instead of cascading)
+    coordinated: bool = True
+    max_coordinated_links: int = 6
+
+
+class CongestionMitigationSystem:
+    """Closed-loop ingress congestion mitigation over an advertisement state."""
+
+    def __init__(
+        self,
+        wan: CloudWAN,
+        config: Optional[CMSConfig] = None,
+        predictor: Optional[IngressModel] = None,
+        period_seconds: float = 3600.0,
+    ):
+        self.wan = wan
+        self.config = config or CMSConfig()
+        self.predictor = predictor
+        self.monitor = UtilizationMonitor(
+            {l.link_id: l.capacity_gbps for l in wan.links},
+            threshold=self.config.threshold,
+            sustain_samples=self.config.sustain_samples,
+            period_seconds=period_seconds,
+        )
+        self.actions: List[MitigationAction] = []
+        # (prefix, link) -> prefix's total volume at withdrawal time;
+        # pairs we withdrew and still owe a re-announcement
+        self._owed: Dict[Tuple[int, int], float] = {}
+
+    # -- main entry point ---------------------------------------------------------
+
+    def handle_sample(
+        self,
+        sample_index: int,
+        state: AdvertisementState,
+        entries: Sequence[TrafficEntry],
+    ) -> List[MitigationAction]:
+        """Process one sample of traffic; possibly mutate ``state``.
+
+        Returns the actions taken this sample (also appended to
+        :attr:`actions`).
+        """
+        link_bytes: Dict[int, float] = {}
+        prefix_bytes: Dict[int, float] = {}
+        for entry in entries:
+            link_bytes[entry.link_id] = (
+                link_bytes.get(entry.link_id, 0.0) + entry.bytes)
+            prefix_bytes[entry.dest_prefix_id] = (
+                prefix_bytes.get(entry.dest_prefix_id, 0.0) + entry.bytes)
+
+        taken: List[MitigationAction] = []
+        taken.extend(self._maybe_reannounce(sample_index, state, prefix_bytes))
+        for event in self.monitor.observe(sample_index, link_bytes):
+            taken.extend(self._mitigate(sample_index, state, entries,
+                                        link_bytes, prefix_bytes, event))
+        self.actions.extend(taken)
+        return taken
+
+    # -- mitigation ------------------------------------------------------------------
+
+    def _mitigate(
+        self,
+        sample_index: int,
+        state: AdvertisementState,
+        entries: Sequence[TrafficEntry],
+        link_bytes: Mapping[int, float],
+        prefix_bytes: Mapping[int, float],
+        event: CongestionEvent,
+    ) -> List[MitigationAction]:
+        link_id = event.link_id
+        capacity_bytes = self.monitor.capacities[link_id] * 1e9 / 8.0 * (
+            self.monitor.period_seconds)
+        excess = link_bytes.get(link_id, 0.0) - self.config.target * capacity_bytes
+        if excess <= 0.0:
+            return []
+
+        # largest prefixes at the congested link first: fewest withdrawals
+        by_prefix: Dict[int, List[TrafficEntry]] = {}
+        for entry in entries:
+            if entry.link_id == link_id:
+                by_prefix.setdefault(entry.dest_prefix_id, []).append(entry)
+        candidates = sorted(
+            by_prefix.items(),
+            key=lambda kv: -sum(e.bytes for e in kv[1]))
+
+        taken: List[MitigationAction] = []
+        shifted = 0.0
+        withdrawals = 0
+        for prefix_id, prefix_entries in candidates:
+            if shifted >= excess:
+                break
+            if withdrawals >= self.config.max_withdrawals_per_event:
+                break
+            if not state.is_available(prefix_id, link_id):
+                continue
+            volume = sum(e.bytes for e in prefix_entries)
+            spill = self._predict_spill(state, prefix_id, link_id,
+                                        prefix_entries)
+            if spill is not None and not self._spill_is_safe(
+                    spill, link_bytes):
+                plan = None
+                if self.config.coordinated:
+                    plan = self._plan_coordinated(
+                        state, prefix_id, link_id, prefix_entries, link_bytes)
+                if plan is None:
+                    taken.append(MitigationAction(
+                        sample_index, "skip-unsafe", link_id, prefix_id,
+                        predicted_spill=tuple(sorted(spill.items())),
+                        note="predicted spill exceeds safety threshold"))
+                    continue
+                for planned_link in sorted(plan):
+                    state.withdraw(prefix_id, planned_link)
+                    self._owed[(prefix_id, planned_link)] = (
+                        prefix_bytes.get(prefix_id, 0.0))
+                    taken.append(MitigationAction(
+                        sample_index, "withdraw-coordinated", planned_link,
+                        prefix_id,
+                        note=f"coordinated set {sorted(plan)}"))
+                withdrawals += 1
+                shifted += volume
+                continue
+            state.withdraw(prefix_id, link_id)
+            self._owed[(prefix_id, link_id)] = prefix_bytes.get(prefix_id, 0.0)
+            withdrawals += 1
+            shifted += volume
+            taken.append(MitigationAction(
+                sample_index, "withdraw", link_id, prefix_id,
+                predicted_spill=tuple(sorted((spill or {}).items())),
+                note=f"shift {volume:.3g}B of {excess:.3g}B excess"))
+        return taken
+
+    def _plan_coordinated(
+        self,
+        state: AdvertisementState,
+        prefix_id: int,
+        link_id: int,
+        prefix_entries: Sequence[TrafficEntry],
+        link_bytes: Mapping[int, float],
+    ) -> Optional[Set[int]]:
+        """Grow the withdrawal set until the predicted spill is safe.
+
+        Starts from the congested link and iteratively adds each link the
+        prediction says would overload, re-predicting with the enlarged
+        availability prior — a what-if loop over TIPSY, exactly the §2
+        post-incident analysis turned into an algorithm.  Returns None if
+        no safe set exists within the size budget.
+        """
+        if self.predictor is None:
+            return None
+        plan: Set[int] = {link_id}
+        period = self.monitor.period_seconds
+        for _ in range(self.config.max_coordinated_links):
+            unavailable = frozenset(
+                plan | state.link_outages | state.withdrawn_links(prefix_id))
+            spill: Dict[int, float] = {}
+            for entry in prefix_entries:
+                predictions = self.predictor.predict(
+                    entry.context, self.config.prediction_k, unavailable)
+                total_score = sum(p.score for p in predictions)
+                if total_score <= 0.0:
+                    continue
+                for p in predictions:
+                    spill[p.link_id] = spill.get(p.link_id, 0.0) + (
+                        entry.bytes * p.score / total_score)
+            overloaded = []
+            for target, extra in spill.items():
+                capacity = self.monitor.capacities.get(target)
+                if capacity is None:
+                    continue
+                capacity_bytes = capacity * 1e9 / 8.0 * period
+                projected = (link_bytes.get(target, 0.0) + extra) / capacity_bytes
+                if projected > self.config.safety:
+                    overloaded.append(target)
+            if not overloaded:
+                return plan
+            plan.update(overloaded)
+            if len(plan) > self.config.max_coordinated_links:
+                return None
+        return None
+
+    def _predict_spill(
+        self,
+        state: AdvertisementState,
+        prefix_id: int,
+        link_id: int,
+        prefix_entries: Sequence[TrafficEntry],
+    ) -> Optional[Dict[int, float]]:
+        """Predicted per-link byte spill if a prefix is withdrawn at a link.
+
+        None when there is no predictor (pre-TIPSY CMS withdraws blindly).
+        """
+        if self.predictor is None:
+            return None
+        unavailable = frozenset(
+            {link_id} | state.link_outages | state.withdrawn_links(prefix_id))
+        spill: Dict[int, float] = {}
+        for entry in prefix_entries:
+            predictions = self.predictor.predict(
+                entry.context, self.config.prediction_k, unavailable)
+            if not predictions:
+                continue
+            total_score = sum(p.score for p in predictions)
+            if total_score <= 0.0:
+                continue
+            for p in predictions:
+                spill[p.link_id] = spill.get(p.link_id, 0.0) + (
+                    entry.bytes * p.score / total_score)
+        return spill
+
+    def _spill_is_safe(self, spill: Mapping[int, float],
+                       link_bytes: Mapping[int, float]) -> bool:
+        period = self.monitor.period_seconds
+        for link_id, extra in spill.items():
+            capacity = self.monitor.capacities.get(link_id)
+            if capacity is None:
+                continue
+            capacity_bytes = capacity * 1e9 / 8.0 * period
+            projected = (link_bytes.get(link_id, 0.0) + extra) / capacity_bytes
+            if projected > self.config.safety:
+                return False
+        return True
+
+    # -- re-announcement ----------------------------------------------------------------
+
+    def _maybe_reannounce(
+        self,
+        sample_index: int,
+        state: AdvertisementState,
+        prefix_bytes: Mapping[int, float],
+    ) -> List[MitigationAction]:
+        """Restore withdrawals whose prefix traffic has calmed down.
+
+        The congested link now carries little traffic by construction, so
+        its own utilization says nothing; what matters is whether the
+        withdrawn prefix's demand (observed wherever it currently lands)
+        has returned to normal.
+        """
+        taken: List[MitigationAction] = []
+        fraction = self.config.reannounce_volume_fraction
+        for (prefix_id, link_id), at_withdrawal in sorted(self._owed.items()):
+            current = prefix_bytes.get(prefix_id, 0.0)
+            if at_withdrawal <= 0.0 or current < fraction * at_withdrawal:
+                state.announce(prefix_id, link_id)
+                del self._owed[(prefix_id, link_id)]
+                taken.append(MitigationAction(
+                    sample_index, "reannounce", link_id, prefix_id,
+                    note=(f"prefix volume {current:.3g}B below "
+                          f"{fraction:.2f} of {at_withdrawal:.3g}B")))
+        return taken
+
+    @property
+    def pending_reannouncements(self) -> FrozenSet[Tuple[int, int]]:
+        return frozenset(self._owed)

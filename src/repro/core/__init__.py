@@ -1,0 +1,47 @@
+"""TIPSY core: feature sets, prediction models, accuracy metric, training."""
+
+from .features import (
+    ALL_FEATURE_SETS,
+    FEATURES_A,
+    FEATURES_AL,
+    FEATURES_AP,
+    FEATURES_APL,
+    FeatureSet,
+)
+from .base import NO_LINKS, IngressModel, Prediction, TrainableModel
+from .historical import HistoricalModel
+from .naive_bayes import NaiveBayesModel
+from .ensemble import SequentialEnsemble
+from .geo_augment import GeoAugmentedModel
+from .oracle import OracleModel
+from .accuracy import (
+    ActualsMap,
+    accuracy_table,
+    evaluate_accuracy,
+    matched_bytes,
+    merge_actuals,
+    total_bytes,
+    volume_matched_bytes,
+)
+from .training import CountsAccumulator
+from .anomaly import (
+    AnomalyDetectorConfig,
+    AnomalyVerdict,
+    IngressAnomalyDetector,
+)
+from .service import ServiceConfig, TipsyService
+from .persistence import load_model, model_from_dict, model_to_dict, save_model
+
+__all__ = [
+    "AnomalyDetectorConfig", "AnomalyVerdict", "IngressAnomalyDetector",
+    "ServiceConfig", "TipsyService",
+    "load_model", "model_from_dict", "model_to_dict", "save_model",
+    "ALL_FEATURE_SETS", "FEATURES_A", "FEATURES_AL", "FEATURES_AP",
+    "FEATURES_APL", "FeatureSet",
+    "NO_LINKS", "IngressModel", "Prediction", "TrainableModel",
+    "HistoricalModel", "NaiveBayesModel", "SequentialEnsemble",
+    "GeoAugmentedModel", "OracleModel",
+    "ActualsMap", "accuracy_table", "evaluate_accuracy", "matched_bytes",
+    "merge_actuals", "total_bytes", "volume_matched_bytes",
+    "CountsAccumulator",
+]

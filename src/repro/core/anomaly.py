@@ -1,0 +1,85 @@
+"""Suspicious-ingress detection (paper §8).
+
+The paper's conclusions describe using TIPSY to flag traffic arriving
+where it is "exceedingly unlikely" — e.g. packets claiming US-lab source
+addresses arriving on far-away peering links — as candidates for DoS
+scrubbing.  The detector here scores an observation against a trained
+model: an (observed flow, observed link) pair is suspicious when the
+link is neither in the flow's wide predicted set nor geographically near
+any predicted link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..pipeline.records import FlowContext
+from ..topology.wan import CloudWAN
+from .base import IngressModel
+
+
+@dataclass(frozen=True)
+class AnomalyVerdict:
+    """The detector's judgement for one observation."""
+
+    context: FlowContext
+    link_id: int
+    suspicious: bool
+    reason: str
+    nearest_predicted_km: Optional[float] = None
+
+
+@dataclass
+class AnomalyDetectorConfig:
+    """Detection thresholds."""
+
+    # how many predicted links form the flow's plausible set
+    prediction_k: int = 10
+    # observations beyond this distance from every predicted link are
+    # suspicious (metro-level geolocation makes a wide margin sensible)
+    distance_km: float = 4000.0
+
+
+class IngressAnomalyDetector:
+    """Flags traffic on links a flow's model says it should never use."""
+
+    def __init__(self, model: IngressModel, wan: CloudWAN,
+                 config: Optional[AnomalyDetectorConfig] = None):
+        self.model = model
+        self.wan = wan
+        self.config = config or AnomalyDetectorConfig()
+
+    def judge(self, context: FlowContext, link_id: int) -> AnomalyVerdict:
+        """Judge one (flow, observed ingress link) observation."""
+        predictions = self.model.predict(context, self.config.prediction_k)
+        if not predictions:
+            return AnomalyVerdict(context, link_id, False,
+                                  "unknown flow: nothing to contradict")
+        if any(p.link_id == link_id for p in predictions):
+            return AnomalyVerdict(context, link_id, False,
+                                  "link in predicted set")
+        observed = self.wan.link(link_id)
+        nearest = min(
+            self.wan.metros.distance_km(observed.metro,
+                                        self.wan.link(p.link_id).metro)
+            for p in predictions
+        )
+        if nearest > self.config.distance_km:
+            return AnomalyVerdict(
+                context, link_id, True,
+                f"link {nearest:.0f} km from every predicted ingress",
+                nearest_predicted_km=nearest)
+        return AnomalyVerdict(
+            context, link_id, False,
+            f"link {nearest:.0f} km from a predicted ingress",
+            nearest_predicted_km=nearest)
+
+    def scan(self, observations: Iterable[Tuple[FlowContext, int]],
+             ) -> List[AnomalyVerdict]:
+        """Judge a batch; returns only the suspicious verdicts."""
+        return [
+            verdict
+            for context, link_id in observations
+            if (verdict := self.judge(context, link_id)).suspicious
+        ]

@@ -1,0 +1,49 @@
+"""Sequential ensembles (paper §3.3.1, "Ensemble models").
+
+``A/B`` means: use model A's prediction when it has one for the flow,
+otherwise fall back to model B — *not* majority voting, so the most
+specific (most accurate) model answers first and broader models add
+transfer learning only where needed.  ``Hist_AP/AL/A`` and
+``Hist_AL/AP/A`` from the paper are pre-built at the bottom.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence
+
+from ..pipeline.records import FlowContext
+from .base import NO_LINKS, IngressModel, Prediction
+
+
+class SequentialEnsemble(IngressModel):
+    """First-model-with-an-answer composition of ingress models."""
+
+    def __init__(self, models: Sequence[IngressModel], name: Optional[str] = None):
+        if not models:
+            raise ValueError("an ensemble needs at least one model")
+        self.models = tuple(models)
+        self.name = name or "/".join(m.name for m in self.models)
+
+    def predict(self, context: FlowContext, k: int,
+                unavailable: FrozenSet[int] = NO_LINKS) -> List[Prediction]:
+        for model in self.models:
+            predictions = model.predict(context, k, unavailable)
+            if predictions:
+                return predictions
+        return []
+
+    def has_prediction(self, context: FlowContext,
+                       unavailable: FrozenSet[int] = NO_LINKS) -> bool:
+        return any(m.has_prediction(context, unavailable) for m in self.models)
+
+    def answering_model(self, context: FlowContext,
+                        unavailable: FrozenSet[int] = NO_LINKS) -> Optional[str]:
+        """Which component would answer this flow (for explainability)."""
+        for model in self.models:
+            if model.has_prediction(context, unavailable):
+                return model.name
+        return None
+
+    def size(self) -> int:
+        """Sum of component sizes (paper §4.3: ensemble cost is the sum)."""
+        return sum(getattr(m, "size", lambda: 0)() for m in self.models)

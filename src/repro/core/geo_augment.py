@@ -1,0 +1,64 @@
+"""Geographic-distance completion (paper §3.3.1, "Geographic distance of
+peering") — the ``AL+G`` model.
+
+Some flow aggregates never showed ``k`` alternative ingress links in
+training even though alternatives exist.  The completion takes the base
+model's best match (k=1, *ignoring* the availability prior so a withdrawn
+top link still anchors the geography), reads off its peer AS and metro,
+and appends that AS's other peering links ranked by geographic distance —
+hot-potato routing says the nearest surviving link of the same peer is
+where traffic most likely lands (paper §5.3: "hot potato routing is not
+uncommon for outages").
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional
+
+from ..pipeline.records import FlowContext
+from ..topology.wan import CloudWAN
+from .base import NO_LINKS, IngressModel, Prediction
+
+
+class GeoAugmentedModel(IngressModel):
+    """Wraps a base model, completing rankings with geographic fallback."""
+
+    def __init__(self, base: IngressModel, wan: CloudWAN,
+                 name: Optional[str] = None):
+        self.base = base
+        self.wan = wan
+        self.name = name or f"{base.name}+G"
+
+    def predict(self, context: FlowContext, k: int,
+                unavailable: FrozenSet[int] = NO_LINKS) -> List[Prediction]:
+        predictions = list(self.base.predict(context, k, unavailable))
+        if len(predictions) >= k:
+            return predictions
+        anchor = self.base.predict(context, 1)
+        if not anchor:
+            return predictions
+        anchor_link = self.wan.link(anchor[0].link_id)
+        have = {p.link_id for p in predictions}
+        candidates = [
+            link for link in self.wan.links_of_peer(anchor_link.peer_asn)
+            if link.link_id not in have and link.link_id not in unavailable
+        ]
+        candidates.sort(key=lambda l: (
+            self.wan.metros.distance_km(anchor_link.metro, l.metro),
+            l.link_id,
+        ))
+        # score appended links below the base ranking's tail
+        tail = predictions[-1].score if predictions else anchor[0].score
+        for i, link in enumerate(candidates[: k - len(predictions)]):
+            predictions.append(Prediction(link.link_id,
+                                          tail * 0.5 ** (i + 1)))
+        return predictions
+
+    def has_prediction(self, context: FlowContext,
+                       unavailable: FrozenSet[int] = NO_LINKS) -> bool:
+        if self.base.has_prediction(context, unavailable):
+            return True
+        return bool(self.predict(context, 1, unavailable))
+
+    def size(self) -> int:
+        return getattr(self.base, "size", lambda: 0)()

@@ -1,0 +1,105 @@
+"""Historical models (paper §3.3.1).
+
+``p(l | f) = B(f, l) / B(f)`` — the byte-weighted empirical distribution
+of ingress links per flow tuple.  Training is a single counting pass;
+prediction is a lookup, exactly the O(n)/O(1) costs of paper Table 3.
+
+The defining limitation (and strength) is the absence of transfer
+learning: a link never observed for a tuple can never be predicted for
+it, and a tuple never observed yields no prediction at all — which is why
+the ensembles of :mod:`repro.core.ensemble` exist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..pipeline.records import FlowContext
+from .base import NO_LINKS, Prediction, TrainableModel
+from .features import FeatureSet
+
+
+class HistoricalModel(TrainableModel):
+    """Byte-weighted empirical link distribution per feature tuple."""
+
+    def __init__(self, feature_set: FeatureSet, name: Optional[str] = None,
+                 keep_top: Optional[int] = None):
+        """
+        Args:
+            feature_set: which features form the flow tuple.
+            name: display name; defaults to ``Hist_<features>``.
+            keep_top: optionally truncate each tuple's ranking to its top
+                entries at finalize time (the paper keeps "only the top k
+                links" in the trained model to bound size).
+        """
+        self.feature_set = feature_set
+        self.name = name or f"Hist_{feature_set.name}"
+        self.keep_top = keep_top
+        self._counts: Dict[Tuple, Dict[int, float]] = {}
+        self._ranked: Optional[Dict[Tuple, Tuple[Prediction, ...]]] = None
+
+    # -- training -------------------------------------------------------------
+
+    def observe(self, context: FlowContext, link_id: int, bytes_: float) -> None:
+        if bytes_ <= 0.0:
+            return
+        key = self.feature_set.key(context)
+        links = self._counts.get(key)
+        if links is None:
+            links = {}
+            self._counts[key] = links
+        links[link_id] = links.get(link_id, 0.0) + bytes_
+        self._ranked = None
+
+    def finalize(self) -> None:
+        ranked: Dict[Tuple, Tuple[Prediction, ...]] = {}
+        for key, links in self._counts.items():
+            total = sum(links.values())
+            if total <= 0.0:
+                continue
+            ordered = sorted(links.items(), key=lambda kv: (-kv[1], kv[0]))
+            if self.keep_top is not None:
+                ordered = ordered[: self.keep_top]
+            ranked[key] = tuple(
+                Prediction(link, b / total) for link, b in ordered)
+        self._ranked = ranked
+
+    # -- prediction -----------------------------------------------------------
+
+    def _ranking_for(self, context: FlowContext) -> Tuple[Prediction, ...]:
+        if self._ranked is None:
+            self.finalize()
+        return self._ranked.get(self.feature_set.key(context), ())
+
+    def predict(self, context: FlowContext, k: int,
+                unavailable: FrozenSet[int] = NO_LINKS) -> List[Prediction]:
+        ranking = self._ranking_for(context)
+        if not unavailable:
+            return list(ranking[:k])
+        out: List[Prediction] = []
+        for pred in ranking:
+            if pred.link_id not in unavailable:
+                out.append(pred)
+                if len(out) == k:
+                    break
+        return out
+
+    def has_prediction(self, context: FlowContext,
+                       unavailable: FrozenSet[int] = NO_LINKS) -> bool:
+        ranking = self._ranking_for(context)
+        if not unavailable:
+            return bool(ranking)
+        return any(p.link_id not in unavailable for p in ranking)
+
+    # -- introspection ----------------------------------------------------------
+
+    def size(self) -> int:
+        """Number of stored flow tuples (model size, paper Table 3)."""
+        return len(self._counts)
+
+    def tuples(self) -> Tuple[Tuple, ...]:
+        return tuple(self._counts)
+
+    def bytes_for(self, context: FlowContext) -> Dict[int, float]:
+        """Raw training byte counts per link for a flow (for analysis)."""
+        return dict(self._counts.get(self.feature_set.key(context), {}))

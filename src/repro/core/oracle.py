@@ -1,0 +1,26 @@
+"""The evaluation oracle (paper §5.1.2, Figure 5).
+
+The oracle has perfect knowledge of the *testing* data — it knows exactly
+which link received how many bytes for every flow — but is restricted to
+returning at most ``k`` links per flow.  Its accuracy is the theoretical
+ceiling for any model at that ``k``; comparing a model against the oracle
+of the same feature set shows how much of the feasible signal the model
+captures.
+
+Mechanically it is a historical model trained on the evaluation records
+themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .features import FeatureSet
+from .historical import HistoricalModel
+
+
+class OracleModel(HistoricalModel):
+    """A k-restricted perfect-knowledge predictor over test data."""
+
+    def __init__(self, feature_set: FeatureSet, name: Optional[str] = None):
+        super().__init__(feature_set, name=name or f"Oracle_{feature_set.name}")

@@ -1,0 +1,167 @@
+"""Model persistence: save trained models, load them for serving.
+
+The production deployment retrains daily and serves predictions from
+the trained artifacts (paper §4).  This module round-trips every model
+type through a plain-JSON representation — no pickle, so artifacts are
+inspectable, diffable and safe to load.
+
+Geo-augmented models need the WAN at load time (the link geography is
+topology, not model state); pass ``wan=`` to :func:`model_from_dict` /
+:func:`load_model` when loading them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..topology.wan import CloudWAN
+from .base import IngressModel
+from .ensemble import SequentialEnsemble
+from .features import (
+    FEATURES_A,
+    FEATURES_AL,
+    FEATURES_AP,
+    FEATURES_APL,
+    FeatureSet,
+)
+from .geo_augment import GeoAugmentedModel
+from .historical import HistoricalModel
+from .naive_bayes import NaiveBayesModel
+from .oracle import OracleModel
+
+FORMAT_VERSION = 1
+
+_FEATURE_SETS: Dict[str, FeatureSet] = {
+    fs.name: fs for fs in (FEATURES_A, FEATURES_AP, FEATURES_AL,
+                           FEATURES_APL)
+}
+
+
+def _feature_set(name: str) -> FeatureSet:
+    try:
+        return _FEATURE_SETS[name]
+    except KeyError:
+        raise ValueError(f"unknown feature set {name!r}") from None
+
+
+# -- to dict ---------------------------------------------------------------------
+
+
+def model_to_dict(model: IngressModel) -> Dict[str, Any]:
+    """Serialise a model to a JSON-compatible dict."""
+    if isinstance(model, OracleModel):
+        data = _historical_to_dict(model)
+        data["type"] = "oracle"
+        return data
+    if isinstance(model, HistoricalModel):
+        return _historical_to_dict(model)
+    if isinstance(model, NaiveBayesModel):
+        return _naive_bayes_to_dict(model)
+    if isinstance(model, SequentialEnsemble):
+        return {
+            "format": FORMAT_VERSION,
+            "type": "ensemble",
+            "name": model.name,
+            "models": [model_to_dict(m) for m in model.models],
+        }
+    if isinstance(model, GeoAugmentedModel):
+        return {
+            "format": FORMAT_VERSION,
+            "type": "geo_augmented",
+            "name": model.name,
+            "base": model_to_dict(model.base),
+        }
+    raise TypeError(f"cannot serialise model type {type(model).__name__}")
+
+
+def _historical_to_dict(model: HistoricalModel) -> Dict[str, Any]:
+    counts = [
+        [list(key), [[link, bytes_] for link, bytes_ in links.items()]]
+        for key, links in model._counts.items()
+    ]
+    return {
+        "format": FORMAT_VERSION,
+        "type": "historical",
+        "name": model.name,
+        "features": model.feature_set.name,
+        "keep_top": model.keep_top,
+        "counts": counts,
+    }
+
+
+def _naive_bayes_to_dict(model: NaiveBayesModel) -> Dict[str, Any]:
+    return {
+        "format": FORMAT_VERSION,
+        "type": "naive_bayes",
+        "name": model.name,
+        "features": model.feature_set.name,
+        "alpha": model.alpha,
+        "link_bytes": [[link, b] for link, b in model._link_bytes.items()],
+        "feature_bytes": [
+            [[list((value, link)), b] for (value, link), b in table.items()]
+            for table in model._feature_bytes
+        ],
+        "total": model._total,
+    }
+
+
+# -- from dict ----------------------------------------------------------------------
+
+
+def model_from_dict(data: Dict[str, Any],
+                    wan: Optional[CloudWAN] = None) -> IngressModel:
+    """Reconstruct a model from :func:`model_to_dict` output."""
+    version = data.get("format")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported model format {version!r}")
+    kind = data["type"]
+    if kind in ("historical", "oracle"):
+        cls = OracleModel if kind == "oracle" else HistoricalModel
+        model = cls(_feature_set(data["features"]), name=data["name"])
+        if kind == "historical":
+            model.keep_top = data.get("keep_top")
+        for key, links in data["counts"]:
+            model._counts[tuple(key)] = {
+                int(link): float(b) for link, b in links}
+        model.finalize()
+        return model
+    if kind == "naive_bayes":
+        model = NaiveBayesModel(_feature_set(data["features"]),
+                                name=data["name"], alpha=data["alpha"])
+        model._link_bytes = {int(l): float(b)
+                             for l, b in data["link_bytes"]}
+        model._feature_bytes = tuple(
+            {(tuple(vl)[0], int(tuple(vl)[1])): float(b)
+             for vl, b in table}
+            for table in data["feature_bytes"]
+        )
+        model._total = float(data["total"])
+        model.finalize()
+        return model
+    if kind == "ensemble":
+        return SequentialEnsemble(
+            [model_from_dict(m, wan) for m in data["models"]],
+            name=data["name"])
+    if kind == "geo_augmented":
+        if wan is None:
+            raise ValueError(
+                "loading a geo-augmented model requires wan=")
+        return GeoAugmentedModel(model_from_dict(data["base"], wan), wan,
+                                 name=data["name"])
+    raise ValueError(f"unknown model type {kind!r}")
+
+
+# -- file IO -----------------------------------------------------------------------------
+
+
+def save_model(model: IngressModel, path: Union[str, Path]) -> None:
+    """Write a model artifact as JSON."""
+    Path(path).write_text(json.dumps(model_to_dict(model)))
+
+
+def load_model(path: Union[str, Path],
+               wan: Optional[CloudWAN] = None) -> IngressModel:
+    """Load a model artifact written by :func:`save_model`."""
+    return model_from_dict(json.loads(Path(path).read_text()), wan)

@@ -1,0 +1,158 @@
+"""TIPSY as an online prediction service (paper §4).
+
+"We designed TIPSY to run online as a prediction service and to retrain
+its models daily" over a rolling training window (3 weeks in §5).  The
+service ingests the hourly aggregated stream, keeps per-day counts,
+rebuilds the model suite when the day rolls over, and serves the two
+queries the CMS needs:
+
+* ``predict`` — top-k ingress links for one flow under an availability
+  prior, answered by the best general-purpose model (the AP-led
+  ensemble, with AL+G for availability-constrained queries);
+* ``what_if`` — given flows and a hypothetical withdrawal set, the
+  predicted byte spill per link (paper §4.4's safety question).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..pipeline.records import AggRecord, FlowContext
+from ..topology.wan import CloudWAN
+from .base import NO_LINKS, IngressModel, Prediction
+from .ensemble import SequentialEnsemble
+from .features import FEATURES_A, FEATURES_AL, FEATURES_AP
+from .geo_augment import GeoAugmentedModel
+from .historical import HistoricalModel
+from .training import CountsAccumulator
+
+
+@dataclass
+class ServiceConfig:
+    """Rolling-window and retraining policy."""
+
+    training_window_days: int = 21
+    prediction_k: int = 3
+    # model answering plain predictions
+    primary_model: str = "Hist_AP/AL/A"
+    # model answering availability-constrained (withdrawal) questions
+    withdrawal_model: str = "Hist_AL+G"
+
+
+class TipsyService:
+    """Rolling-window, daily-retrained ingress prediction service."""
+
+    def __init__(self, wan: CloudWAN, config: Optional[ServiceConfig] = None):
+        self.wan = wan
+        self.config = config or ServiceConfig()
+        # day -> that day's finest-grain counts
+        self._days: "OrderedDict[int, CountsAccumulator]" = OrderedDict()
+        self._current_day: Optional[int] = None
+        self._models: Dict[str, IngressModel] = {}
+        self._trained_on: Tuple[int, ...] = ()
+        self.retrain_count = 0
+
+    # -- ingestion ------------------------------------------------------------
+
+    def ingest_hour(self, hour: int, records: Sequence[AggRecord]) -> None:
+        """Feed one hour of the aggregated telemetry stream.
+
+        Crossing into a new day triggers a retrain over the rolling
+        window (the paper retrains daily).
+        """
+        day = hour // 24
+        if self._current_day is not None and day < self._current_day:
+            raise ValueError("telemetry must be ingested in time order")
+        if day != self._current_day:
+            self._current_day = day
+            self._days.setdefault(day, CountsAccumulator())
+            self._evict_old(day)
+            self.retrain()
+        self._days[day].consume_hour(hour, records)
+
+    def _evict_old(self, today: int) -> None:
+        horizon = today - self.config.training_window_days
+        for day in list(self._days):
+            if day < horizon:
+                del self._days[day]
+
+    # -- training ---------------------------------------------------------------
+
+    def retrain(self) -> None:
+        """Rebuild the model suite from the rolling window's counts."""
+        merged = CountsAccumulator()
+        trained_on = []
+        for day, counts in self._days.items():
+            if day == self._current_day:
+                continue  # today is still accumulating
+            merged.merge(counts)
+            trained_on.append(day)
+        hist_a = HistoricalModel(FEATURES_A)
+        hist_ap = HistoricalModel(FEATURES_AP)
+        hist_al = HistoricalModel(FEATURES_AL)
+        merged.fit([hist_a, hist_ap, hist_al])
+        self._models = {
+            "Hist_A": hist_a,
+            "Hist_AP": hist_ap,
+            "Hist_AL": hist_al,
+            "Hist_AL+G": GeoAugmentedModel(hist_al, self.wan,
+                                           name="Hist_AL+G"),
+            "Hist_AP/AL/A": SequentialEnsemble([hist_ap, hist_al, hist_a],
+                                               name="Hist_AP/AL/A"),
+        }
+        self._trained_on = tuple(trained_on)
+        self.retrain_count += 1
+
+    @property
+    def trained_days(self) -> Tuple[int, ...]:
+        """Days of data behind the currently-served models."""
+        return self._trained_on
+
+    @property
+    def ready(self) -> bool:
+        return bool(self._trained_on)
+
+    def model(self, name: str) -> IngressModel:
+        if not self._models:
+            raise RuntimeError("service has no trained models yet")
+        return self._models[name]
+
+    # -- queries ------------------------------------------------------------------
+
+    def predict(self, context: FlowContext, k: Optional[int] = None,
+                unavailable: FrozenSet[int] = NO_LINKS) -> List[Prediction]:
+        """Top-k ingress prediction for one flow."""
+        k = k or self.config.prediction_k
+        name = (self.config.withdrawal_model if unavailable
+                else self.config.primary_model)
+        return self.model(name).predict(context, k, unavailable)
+
+    def what_if(
+        self,
+        flows: Sequence[Tuple[FlowContext, float]],
+        withdrawn: FrozenSet[int],
+        k: Optional[int] = None,
+    ) -> Dict[int, float]:
+        """Predicted per-link byte spill if ``withdrawn`` links go away.
+
+        This is the CMS's safety question (§4.4): it passes the flows it
+        wants to move and the links it would withdraw from; the answer
+        is where those bytes land, byte-weighted by prediction scores.
+        Bytes with no prediction are returned under link id ``-1``
+        (unplaceable).
+        """
+        k = k or self.config.prediction_k
+        model = self.model(self.config.withdrawal_model)
+        spill: Dict[int, float] = {}
+        for context, bytes_ in flows:
+            predictions = model.predict(context, k, withdrawn)
+            total = sum(p.score for p in predictions)
+            if total <= 0.0:
+                spill[-1] = spill.get(-1, 0.0) + bytes_
+                continue
+            for p in predictions:
+                spill[p.link_id] = spill.get(p.link_id, 0.0) + (
+                    bytes_ * p.score / total)
+        return spill

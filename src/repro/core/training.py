@@ -1,0 +1,76 @@
+"""Training plumbing: byte-count accumulation and model fitting.
+
+Training every TIPSY model is a single pass over byte-weighted
+(flow tuple, link) observations (paper §3.3, Table 3).  The accumulator
+collects those observations at the finest granularity once; each model
+then trains from the projection onto its own feature set, so a whole
+model suite costs one streaming pass plus cheap in-memory fits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from ..pipeline.records import AggRecord, FlowContext
+from .base import TrainableModel
+
+
+class CountsAccumulator:
+    """Finest-grain (flow context, link) -> bytes accumulator.
+
+    Implements the :class:`repro.pipeline.dataset.HourConsumer` protocol
+    so it can sit directly on the aggregated hourly stream.
+    """
+
+    def __init__(self):
+        self.counts: Dict[Tuple[FlowContext, int], float] = {}
+
+    def consume_hour(self, hour: int, records: Sequence[AggRecord]) -> None:
+        counts = self.counts
+        for record in records:
+            key = (record.context, record.link_id)
+            counts[key] = counts.get(key, 0.0) + record.bytes
+
+    def add(self, context: FlowContext, link_id: int, bytes_: float) -> None:
+        if bytes_ <= 0.0:
+            return
+        key = (context, link_id)
+        self.counts[key] = self.counts.get(key, 0.0) + bytes_
+
+    def merge(self, other: "CountsAccumulator") -> None:
+        for key, bytes_ in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0.0) + bytes_
+
+    def total_bytes(self) -> float:
+        return sum(self.counts.values())
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    # -- consumers -------------------------------------------------------------
+
+    def fit(self, models: Iterable[TrainableModel]) -> None:
+        """Train models from the accumulated counts (single pass each)."""
+        models = list(models)
+        for (context, link_id), bytes_ in self.counts.items():
+            for model in models:
+                model.observe(context, link_id, bytes_)
+        for model in models:
+            model.finalize()
+
+    def actuals(self) -> Dict[FlowContext, Dict[int, float]]:
+        """Reshape into the evaluation :data:`ActualsMap` layout."""
+        out: Dict[FlowContext, Dict[int, float]] = {}
+        for (context, link_id), bytes_ in self.counts.items():
+            out.setdefault(context, {})[link_id] = (
+                out.get(context, {}).get(link_id, 0.0) + bytes_)
+        return out
+
+    def top1_links(self) -> Dict[FlowContext, int]:
+        """Each flow's byte-dominant link (partitioning key in §5.3)."""
+        best: Dict[FlowContext, Tuple[float, int]] = {}
+        for (context, link_id), bytes_ in self.counts.items():
+            current = best.get(context)
+            if current is None or (bytes_, -link_id) > (current[0], -current[1]):
+                best[context] = (bytes_, link_id)
+        return {context: link for context, (_b, link) in best.items()}

@@ -1,0 +1,35 @@
+"""Scenarios and the paper's evaluation harness."""
+
+from .scenario import HourColumns, Scenario, ScenarioParams
+from .runner import (
+    AccuracyBlock,
+    EvaluationResult,
+    EvaluationRunner,
+    WindowSpec,
+)
+from .incident import (
+    IncidentReport,
+    IncidentWorld,
+    build_incident_world,
+    replay_incident,
+    train_incident_model,
+)
+from .incident_east_asia import (
+    EastAsiaReport,
+    EastAsiaWorld,
+    build_east_asia_world,
+    replay_east_asia,
+)
+from . import figures, paper, tables
+from .report import ReportOptions, build_report
+
+__all__ = [
+    "HourColumns", "Scenario", "ScenarioParams",
+    "AccuracyBlock", "EvaluationResult", "EvaluationRunner", "WindowSpec",
+    "IncidentReport", "IncidentWorld", "build_incident_world",
+    "replay_incident", "train_incident_model",
+    "EastAsiaReport", "EastAsiaWorld", "build_east_asia_world",
+    "replay_east_asia",
+    "figures", "paper", "tables",
+    "ReportOptions", "build_report",
+]

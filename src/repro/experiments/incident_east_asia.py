@@ -1,0 +1,238 @@
+"""Replay of the §6 East Asia incident (06 September 2021).
+
+"A peering link in East Asia hit high utilization.  CMS withdrew two
+/24 prefixes.  ...  TIPSY identified three links that the traffic would
+shift to, with two different transit providers, two in the same
+metropolitan region and one in a different country in East Asia ...
+After CMS issued prefix withdrawals, traffic shifted as predicted to
+those links.  2 hours after the withdrawals, traffic levels had dropped
+sufficiently that the prefixes were re-announced by CMS."
+
+The world: a hot peering link in Hong Kong with transit provider P,
+alternates with P and a second transit Q in the same metro, and a
+P link in Taipei (different country).  Two destination /24s carry the
+surge; the replay checks each sentence of the paper's account.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..bgp.simulator import IngressSimulator, SimulatorParams
+from ..bgp.state import AdvertisementState
+from ..cms.mitigation import (
+    CMSConfig,
+    CongestionMitigationSystem,
+    MitigationAction,
+    TrafficEntry,
+)
+from ..core.features import FEATURES_AL
+from ..core.geo_augment import GeoAugmentedModel
+from ..core.historical import HistoricalModel
+from ..core.training import CountsAccumulator
+from ..pipeline.records import FlowContext
+from ..telemetry.ipfix import IpfixExporter
+from ..topology.asgraph import ASGraph, ASNode, ASRole
+from ..topology.geography import MetroCatalog
+from ..topology.relationships import Relationship
+from ..topology.wan import CloudWAN, DestPrefix, PeeringLink, Region
+
+CLOUD_ASN = 8075
+AS_P = 65020       # first transit provider (owns the hot link)
+AS_Q = 65021       # second transit provider, same metro
+AS_SRC = 65120     # enterprise source, single-homed behind P
+AS_DUAL = 65121    # enterprise source, dual-homed behind P and Q
+
+
+@dataclass
+class EastAsiaWorld:
+    """The §6 topology: HKG hot link + three predicted alternates."""
+
+    graph: ASGraph
+    wan: CloudWAN
+    simulator: IngressSimulator
+    flows: List[Tuple[FlowContext, int, str, int, int]]
+    exporter: IpfixExporter
+    hot: int          # the congested link (AS P, hkg)
+    alt_same_peer: int    # AS P, hkg — same metro
+    alt_other_peer: int   # AS Q, hkg — same metro, other transit
+    alt_other_country: int  # AS P, tpe — different country
+
+    base_gbps: float = 66.0
+    surge_gbps: float = 120.0
+    surge_start_hour: int = 14 * 24 + 13
+    surge_hours: int = 2   # the paper's surge calms after ~2 hours
+
+    def demand_gbps(self, hour: int) -> float:
+        local = hour % 24
+        diurnal = 1.0 + 0.30 * np.cos(2 * np.pi * (local - 13) / 24.0)
+        demand = self.base_gbps * diurnal
+        if self.surge_start_hour <= hour < self.surge_start_hour + self.surge_hours:
+            demand += self.surge_gbps
+        return float(demand)
+
+    def entries_for_hour(self, hour: int,
+                         state: AdvertisementState) -> List[TrafficEntry]:
+        total_bytes = self.demand_gbps(hour) * 1e9 / 8.0 * 3600.0
+        per_flow = total_bytes / len(self.flows)
+        entries: List[TrafficEntry] = []
+        for context, src_prefix, src_metro, dest_prefix, src_asn in self.flows:
+            shares = self.simulator.resolve_shares(
+                src_asn, src_metro, src_prefix, dest_prefix, state,
+                hour // 24)
+            for link_id, frac in shares:
+                entries.append(TrafficEntry(
+                    link_id=link_id, dest_prefix_id=dest_prefix,
+                    context=context, bytes=per_flow * frac))
+        return entries
+
+
+def build_east_asia_world(seed: int = 0,
+                          n_flows: int = 120) -> EastAsiaWorld:
+    """The §6 world: hot HKG link, alternates in HKG and Taipei."""
+    metros = MetroCatalog()
+    graph = ASGraph(metros)
+    footprint_p = ("hkg", "tpe", "sin", "tyo")
+    footprint_q = ("hkg", "sin")
+    graph.add_as(ASNode(AS_P, ASRole.TRANSIT, footprint_p))
+    graph.add_as(ASNode(AS_Q, ASRole.TRANSIT, footprint_q))
+    graph.add_as(ASNode(AS_SRC, ASRole.STUB, ("hkg",)))
+    graph.add_as(ASNode(AS_DUAL, ASRole.STUB, ("hkg",)))
+    graph.add_link(AS_SRC, AS_P, Relationship.PROVIDER)
+    graph.add_link(AS_DUAL, AS_P, Relationship.PROVIDER)
+    graph.add_link(AS_DUAL, AS_Q, Relationship.PROVIDER)
+
+    links = [
+        PeeringLink(0, AS_P, "hkg", "hkg-er1", 100.0),  # the hot link
+        PeeringLink(1, AS_P, "hkg", "hkg-er2", 100.0),  # alt, same peer
+        PeeringLink(2, AS_Q, "hkg", "hkg-er1", 100.0),  # alt, other peer
+        PeeringLink(3, AS_P, "tpe", "tpe-er1", 100.0),  # alt, other country
+        PeeringLink(4, AS_P, "sin", "sin-er1", 100.0),
+        PeeringLink(5, AS_Q, "sin", "sin-er1", 100.0),
+        PeeringLink(6, AS_P, "tyo", "tyo-er1", 100.0),
+    ]
+    regions = [Region("hkg-region", "hkg")]
+    dests = [
+        DestPrefix(0, "100.80.1.0/24", "hkg-region", "conferencing"),
+        DestPrefix(1, "100.80.2.0/24", "hkg-region", "storage"),
+        DestPrefix(2, "100.80.3.0/24", "hkg-region", "web"),
+        DestPrefix(3, "100.80.4.0/24", "hkg-region", "vpn-gateway"),
+    ]
+    wan = CloudWAN(CLOUD_ASN, links, regions, dests, metros)
+
+    # the enterprise source is dual-homed with real egress load
+    # balancing (origin_split): most bytes ride provider P into the hot
+    # link, a steady fraction rides provider Q — so TIPSY's history
+    # covers alternates at two different transit providers, as in §6
+    simulator = IngressSimulator(graph, wan, SimulatorParams(
+        candidate_pool_size=4,
+        reroute_radius_km=1000.0,
+        locality=0.45,
+        origin_split=0.30,
+        minor_drift_daily=0.0,
+        major_drift_daily=0.0,
+    ), seed=seed)
+
+    flows = []
+    for i in range(n_flows):
+        src_prefix = 20_000 + i
+        dest = i % 4
+        # 70% of flows sit behind P alone, 30% are dual-homed — the
+        # mixed-provider population whose alternates span two transits
+        asn = AS_SRC if i % 10 < 7 else AS_DUAL
+        flows.append((FlowContext(asn, src_prefix, 0, 0, dest % 2),
+                      src_prefix, "hkg", dest, asn))
+    return EastAsiaWorld(
+        graph=graph, wan=wan, simulator=simulator, flows=flows,
+        exporter=IpfixExporter(seed=seed),
+        hot=0, alt_same_peer=1, alt_other_peer=2, alt_other_country=3)
+
+
+@dataclass
+class EastAsiaReport:
+    """Outcome of the §6 replay, matched to the paper's account."""
+
+    withdrawn_prefixes: Tuple[int, ...]
+    withdrawal_hour: Optional[int]
+    reannounce_hour: Optional[int]
+    predicted_links: Tuple[int, ...]
+    actual_shift_links: Tuple[int, ...]
+    max_alt_utilization: float
+    actions: List[MitigationAction]
+
+    @property
+    def hours_until_reannounce(self) -> Optional[int]:
+        if self.withdrawal_hour is None or self.reannounce_hour is None:
+            return None
+        return self.reannounce_hour - self.withdrawal_hour
+
+
+def replay_east_asia(world: EastAsiaWorld,
+                     train_hours: Optional[int] = None) -> EastAsiaReport:
+    """Run the §6 incident through the TIPSY-guided CMS."""
+    train_hours = train_hours or world.surge_start_hour
+    # train Hist_AL+G on the pre-incident window
+    state = AdvertisementState(world.wan)
+    counts = CountsAccumulator()
+    for hour in range(train_hours):
+        entries = world.entries_for_hour(hour, state)
+        sampled = world.exporter.sample_bytes(
+            np.array([e.bytes for e in entries]), hour)
+        for entry, est in zip(entries, sampled):
+            if est > 0.0:
+                counts.add(entry.context, entry.link_id, float(est))
+    hist_al = HistoricalModel(FEATURES_AL)
+    counts.fit([hist_al])
+    predictor = GeoAugmentedModel(hist_al, world.wan, name="Hist_AL+G")
+
+    # TIPSY's pre-incident answer: across the affected flow population,
+    # where would the hot link's traffic go?  (the paper queries TIPSY
+    # for all the flows that arrived on the hot link)
+    predicted_set = set()
+    for context, _p, _m, _d, _a in world.flows[:40]:
+        for p in predictor.predict(context, 3,
+                                   unavailable=frozenset({world.hot})):
+            predicted_set.add(p.link_id)
+    predicted = tuple(sorted(predicted_set))
+
+    # operators shift well below the trigger (§2's mitigation dropped a
+    # 90%-hot link to ~18%); a 55% target needs both top /24s moved
+    cms = CongestionMitigationSystem(world.wan, CMSConfig(target=0.55),
+                                     predictor=predictor)
+    run_state = AdvertisementState(world.wan)
+    withdrawal_hour = reannounce_hour = None
+    withdrawn: Set[int] = set()
+    shift_links: Set[int] = set()
+    max_alt_util = 0.0
+    horizon = world.surge_start_hour + world.surge_hours + 6
+    for hour in range(world.surge_start_hour - 2, horizon):
+        entries = world.entries_for_hour(hour, run_state)
+        actions = cms.handle_sample(hour, run_state, entries)
+        for action in actions:
+            if action.kind.startswith("withdraw"):
+                withdrawal_hour = withdrawal_hour or hour
+                withdrawn.add(action.dest_prefix_id)
+            elif action.kind == "reannounce" and reannounce_hour is None:
+                reannounce_hour = hour
+        if withdrawal_hour is not None and hour > withdrawal_hour - 1:
+            for entry in entries:
+                if (entry.dest_prefix_id in withdrawn
+                        and entry.link_id != world.hot):
+                    shift_links.add(entry.link_id)
+            for link_id in shift_links:
+                link_bytes = sum(e.bytes for e in entries
+                                 if e.link_id == link_id)
+                max_alt_util = max(max_alt_util, cms.monitor.utilization(
+                    link_id, link_bytes))
+    return EastAsiaReport(
+        withdrawn_prefixes=tuple(sorted(withdrawn)),
+        withdrawal_hour=withdrawal_hour,
+        reannounce_hour=reannounce_hour,
+        predicted_links=predicted,
+        actual_shift_links=tuple(sorted(shift_links)),
+        max_alt_utilization=max_alt_util,
+        actions=list(cms.actions),
+    )

@@ -1,0 +1,432 @@
+"""Train/test evaluation runner (paper §5.1).
+
+Reproduces the paper's methodology end to end:
+
+* train on a window of sampled telemetry (3 weeks in the paper),
+* test on the following window (1 week),
+* infer outages from IPFIX ("no bytes in an hour" rule) on both windows,
+* partition test traffic into normal vs outage-affected — a flow is
+  outage-affected in the hours when its byte-dominant training link is
+  down (§5.3.1) — and split outage-affected traffic into *seen* (the link
+  also failed during training) and *unseen* (§5.3.2),
+* score every model with the byte-weighted top-k metric, handing it the
+  availability prior for the hours being scored,
+* build the matching k-restricted oracles per feature set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.accuracy import ActualsMap, matched_bytes
+from ..core.base import IngressModel
+from ..core.ensemble import SequentialEnsemble
+from ..core.features import FEATURES_A, FEATURES_AL, FEATURES_AP
+from ..core.geo_augment import GeoAugmentedModel
+from ..core.historical import HistoricalModel
+from ..core.naive_bayes import NaiveBayesModel
+from ..core.oracle import OracleModel
+from ..core.training import CountsAccumulator
+from ..pipeline.outages import OutageInference
+from ..pipeline.records import FlowContext
+from .scenario import HourColumns, Scenario
+
+NO_LINKS: FrozenSet[int] = frozenset()
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A train/test window in whole days from the scenario origin."""
+
+    train_start_day: int = 0
+    train_days: int = 21
+    test_days: int = 7
+
+    @property
+    def train_hours(self) -> Tuple[int, int]:
+        start = self.train_start_day * 24
+        return start, start + self.train_days * 24
+
+    @property
+    def test_hours(self) -> Tuple[int, int]:
+        start = (self.train_start_day + self.train_days) * 24
+        return start, start + self.test_days * 24
+
+
+class _StreamAccumulator:
+    """Accumulates streamed columns into (flow row, link) byte dicts,
+    flushing per expansion epoch so the availability context is known."""
+
+    def __init__(self, n_links: int, n_hours: int, hour_offset: int):
+        self.n_links = n_links
+        self.hour_offset = hour_offset
+        self.link_matrix = np.zeros((n_links, n_hours))
+        # per (down-set) accumulated (row, link) -> bytes
+        self.by_downset: Dict[FrozenSet[int], Dict[Tuple[int, int], float]] = {}
+        self.total: Dict[Tuple[int, int], float] = {}
+        self._epoch_rows: Optional[np.ndarray] = None
+        self._epoch_links: Optional[np.ndarray] = None
+        self._epoch_sum: Optional[np.ndarray] = None
+        self._epoch_down: FrozenSet[int] = NO_LINKS
+
+    def add_hour(self, cols: HourColumns, down: FrozenSet[int]) -> None:
+        if (self._epoch_rows is not cols.flow_rows
+                or down != self._epoch_down):
+            self.flush()
+            self._epoch_rows = cols.flow_rows
+            self._epoch_links = cols.link_ids
+            self._epoch_sum = np.zeros(len(cols.flow_rows))
+            self._epoch_down = down
+        self._epoch_sum += cols.sampled_bytes
+        hour_idx = cols.hour - self.hour_offset
+        self.link_matrix[:, hour_idx] = np.bincount(
+            cols.link_ids, weights=cols.sampled_bytes, minlength=self.n_links)
+
+    def flush(self) -> None:
+        if self._epoch_sum is None:
+            return
+        rows = self._epoch_rows
+        links = self._epoch_links
+        sums = self._epoch_sum
+        bucket = self.by_downset.setdefault(self._epoch_down, {})
+        total = self.total
+        nz = np.nonzero(sums > 0.0)[0]
+        for i in nz:
+            key = (int(rows[i]), int(links[i]))
+            value = float(sums[i])
+            bucket[key] = bucket.get(key, 0.0) + value
+            total[key] = total.get(key, 0.0) + value
+        self._epoch_sum = None
+
+
+@dataclass
+class AccuracyBlock:
+    """model name -> {k: accuracy}; one paper-table block."""
+
+    rows: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    total_bytes: float = 0.0
+
+    def get(self, model: str, k: int) -> float:
+        return self.rows[model][k]
+
+    def best_model(self, k: int, exclude_oracles: bool = True) -> str:
+        candidates = {
+            name: ks[k] for name, ks in self.rows.items()
+            if not (exclude_oracles and name.startswith("Oracle"))
+        }
+        return max(candidates, key=candidates.get)
+
+
+@dataclass
+class EvaluationResult:
+    """Everything the paper's tables and figures read."""
+
+    window: WindowSpec
+    overall: AccuracyBlock
+    outages_all: AccuracyBlock
+    outages_seen: AccuracyBlock
+    outages_unseen: AccuracyBlock
+    # actuals for figure-level analyses (e.g. oracle-vs-k, Figure 5)
+    overall_actuals: Dict[FlowContext, Dict[int, float]]
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+class EvaluationRunner:
+    """Runs the full §5 methodology over one scenario."""
+
+    def __init__(self, scenario: Scenario):
+        self.scenario = scenario
+        self._n_links = len(self.scenario.wan.links)
+        # scenarios are deterministic and read-only, so window collections
+        # can be reused across runs (Appendix B sweeps share windows)
+        self._window_cache: Dict[Tuple[int, int], _StreamAccumulator] = {}
+
+    # -- model suite -----------------------------------------------------------
+
+    def build_models(self, train_counts: CountsAccumulator,
+                     include_naive_bayes: bool = False,
+                     keep_top: Optional[int] = None) -> List[IngressModel]:
+        """Train the paper's model suite (Table 2, plus Appendix A on demand)."""
+        hist_a = HistoricalModel(FEATURES_A, keep_top=keep_top)
+        hist_ap = HistoricalModel(FEATURES_AP, keep_top=keep_top)
+        hist_al = HistoricalModel(FEATURES_AL, keep_top=keep_top)
+        trainables = [hist_a, hist_ap, hist_al]
+        nb_a = nb_al = None
+        if include_naive_bayes:
+            nb_a = NaiveBayesModel(FEATURES_A)
+            nb_al = NaiveBayesModel(FEATURES_AL)
+            trainables += [nb_a, nb_al]
+        train_counts.fit(trainables)
+
+        models: List[IngressModel] = [
+            hist_a, hist_ap, hist_al,
+            GeoAugmentedModel(hist_al, self.scenario.wan, name="Hist_AL+G"),
+            SequentialEnsemble([hist_ap, hist_al, hist_a],
+                               name="Hist_AP/AL/A"),
+            SequentialEnsemble([hist_al, hist_ap, hist_a],
+                               name="Hist_AL/AP/A"),
+        ]
+        if include_naive_bayes:
+            models += [
+                nb_a, nb_al,
+                SequentialEnsemble([hist_al, nb_al], name="Hist_AL/NB_AL"),
+            ]
+        return models
+
+    # -- streaming passes --------------------------------------------------------
+
+    def collect_window(self, start_hour: int,
+                       end_hour: int) -> _StreamAccumulator:
+        """Stream a window into per-downset (row, link) byte accumulations.
+
+        Cached per (start, end): the scenario is deterministic, so
+        repeated windows (Appendix B sweeps) are free after the first
+        pass.  Callers must treat the result as read-only.
+        """
+        cached = self._window_cache.get((start_hour, end_hour))
+        if cached is not None:
+            return cached
+        acc = _StreamAccumulator(self._n_links, end_hour - start_hour,
+                                 start_hour)
+        scenario = self.scenario
+        for cols in scenario.stream(start_hour, end_hour):
+            down = scenario.scheduled_down_at(cols.hour)
+            acc.add_hour(cols, down)
+        acc.flush()
+        self._window_cache[(start_hour, end_hour)] = acc
+        return acc
+
+    def counts_from(self, acc: _StreamAccumulator) -> CountsAccumulator:
+        """Finest-grain training counts from a window accumulation."""
+        contexts = self.scenario.flow_contexts
+        counts = CountsAccumulator()
+        table = counts.counts
+        for (row, link), bytes_ in acc.total.items():
+            key = (contexts[row], link)
+            table[key] = table.get(key, 0.0) + bytes_
+        return counts
+
+    # -- actuals shaping -----------------------------------------------------------
+
+    def _actuals_from_pairs(
+        self, pairs: Mapping[Tuple[int, int], float],
+        row_filter: Optional[np.ndarray] = None,
+    ) -> Dict[FlowContext, Dict[int, float]]:
+        contexts = self.scenario.flow_contexts
+        out: Dict[FlowContext, Dict[int, float]] = {}
+        for (row, link), bytes_ in pairs.items():
+            if row_filter is not None and not row_filter[row]:
+                continue
+            by_link = out.setdefault(contexts[row], {})
+            by_link[link] = by_link.get(link, 0.0) + bytes_
+        return out
+
+    # -- scoring --------------------------------------------------------------------
+
+    @staticmethod
+    def _score(actuals: ActualsMap, model: IngressModel, k: int,
+               unavailable: FrozenSet[int]) -> Tuple[float, float]:
+        """(matched bytes, total bytes) for one model on one actuals slice."""
+        matched = 0.0
+        total = 0.0
+        for context, by_link in actuals.items():
+            flow_bytes = sum(by_link.values())
+            if flow_bytes <= 0.0:
+                continue
+            total += flow_bytes
+            predictions = model.predict(context, k, unavailable)
+            if predictions:
+                matched += matched_bytes(by_link, predictions)
+        return matched, total
+
+    def _block(
+        self,
+        slices: Sequence[Tuple[ActualsMap, FrozenSet[int]]],
+        models: Sequence[IngressModel],
+        ks: Sequence[int],
+    ) -> AccuracyBlock:
+        """Accuracy across several (actuals, availability-prior) slices."""
+        block = AccuracyBlock()
+        block.total_bytes = sum(
+            sum(by_link.values())
+            for actuals, _unavailable in slices
+            for by_link in actuals.values()
+        )
+        for model in models:
+            per_k: Dict[int, float] = {}
+            for k in ks:
+                matched = 0.0
+                total = 0.0
+                for actuals, unavailable in slices:
+                    m, t = self._score(actuals, model, k, unavailable)
+                    matched += m
+                    total += t
+                per_k[k] = matched / total if total > 0.0 else 0.0
+            block.rows[model.name] = per_k
+        return block
+
+    # -- the full methodology ----------------------------------------------------------
+
+    def run(
+        self,
+        window: Optional[WindowSpec] = None,
+        include_naive_bayes: bool = False,
+        ks: Sequence[int] = (1, 2, 3),
+        outage_min_hours: int = 1,
+        outage_max_hours: int = 24,
+    ) -> EvaluationResult:
+        """Train, test, partition, and score — one full evaluation."""
+        window = window or WindowSpec()
+        scenario = self.scenario
+        contexts = scenario.flow_contexts
+        train_lo, train_hi = window.train_hours
+        test_lo, test_hi = window.test_hours
+        if test_hi > scenario.horizon_hours:
+            raise ValueError("window extends past the scenario horizon")
+
+        # 1. training pass
+        train_acc = self.collect_window(train_lo, train_hi)
+        train_counts = self.counts_from(train_acc)
+        models = self.build_models(train_counts, include_naive_bayes)
+
+        # 2. availability history: links with a qualifying inferred outage
+        #    during training are "seen"
+        train_inference = OutageInference(
+            scenario.wan.link_ids, train_acc.link_matrix)
+        seen_links = train_inference.links_with_outage(
+            0, train_hi - train_lo, outage_min_hours, outage_max_hours)
+
+        # 3. per-flow byte-dominant training link (partitioning key)
+        top1 = train_counts.top1_links()
+        top1_by_row = np.full(len(contexts), -1, dtype=np.int64)
+        for i, context in enumerate(contexts):
+            top1_by_row[i] = top1.get(context, -1)
+
+        # 4. test pass
+        test_acc = self.collect_window(test_lo, test_hi)
+
+        # 5. slices
+        overall_actuals = self._actuals_from_pairs(test_acc.total)
+        overall_block_slices = [(overall_actuals, NO_LINKS)]
+
+        all_slices: List[Tuple[ActualsMap, FrozenSet[int]]] = []
+        seen_slices: List[Tuple[ActualsMap, FrozenSet[int]]] = []
+        unseen_slices: List[Tuple[ActualsMap, FrozenSet[int]]] = []
+        seen_bytes = unseen_bytes = 0.0
+        for down, pairs in test_acc.by_downset.items():
+            if not down:
+                continue
+            down_array = np.array(sorted(down))
+            affected = np.isin(top1_by_row, down_array)
+            if not affected.any():
+                continue
+            actuals = self._actuals_from_pairs(pairs, row_filter=affected)
+            if not actuals:
+                continue
+            all_slices.append((actuals, down))
+            seen_mask = affected & np.isin(
+                top1_by_row, np.array(sorted(seen_links), dtype=np.int64)
+                if seen_links else np.array([-2]))
+            unseen_mask = affected & ~seen_mask
+            seen_actuals = self._actuals_from_pairs(pairs, row_filter=seen_mask)
+            unseen_actuals = self._actuals_from_pairs(pairs,
+                                                      row_filter=unseen_mask)
+            if seen_actuals:
+                seen_slices.append((seen_actuals, down))
+                seen_bytes += sum(sum(v.values()) for v in seen_actuals.values())
+            if unseen_actuals:
+                unseen_slices.append((unseen_actuals, down))
+                unseen_bytes += sum(
+                    sum(v.values()) for v in unseen_actuals.values())
+
+        # 6. oracles per partition (perfect test knowledge, k-restricted)
+        def oracles_for(slices) -> List[IngressModel]:
+            oracle_counts = CountsAccumulator()
+            for actuals, _down in slices:
+                for context, by_link in actuals.items():
+                    for link, bytes_ in by_link.items():
+                        oracle_counts.add(context, link, bytes_)
+            oracle_models = [OracleModel(FEATURES_A), OracleModel(FEATURES_AP),
+                             OracleModel(FEATURES_AL)]
+            oracle_counts.fit(oracle_models)
+            return oracle_models
+
+        result = EvaluationResult(
+            window=window,
+            overall=self._block(
+                overall_block_slices,
+                oracles_for(overall_block_slices) + models, ks),
+            outages_all=self._block(
+                all_slices, oracles_for(all_slices) + models, ks),
+            outages_seen=self._block(
+                seen_slices, oracles_for(seen_slices) + models, ks),
+            outages_unseen=self._block(
+                unseen_slices, oracles_for(unseen_slices) + models, ks),
+            overall_actuals=overall_actuals,
+        )
+        total_outage_bytes = seen_bytes + unseen_bytes
+        result.stats = self._stats(overall_actuals, seen_bytes, unseen_bytes,
+                                   seen_links, train_counts)
+        return result
+
+    @staticmethod
+    def _stats(overall_actuals, seen_bytes, unseen_bytes, seen_links,
+               train_counts) -> Dict[str, float]:
+        total_outage_bytes = seen_bytes + unseen_bytes
+        return {
+            "total_bytes": sum(sum(v.values())
+                               for v in overall_actuals.values()),
+            "outage_bytes": total_outage_bytes,
+            "seen_bytes": seen_bytes,
+            "unseen_bytes": unseen_bytes,
+            "unseen_fraction": (unseen_bytes / total_outage_bytes
+                                if total_outage_bytes else 0.0),
+            "seen_links": float(len(seen_links)),
+            "train_tuples": float(len(train_counts)),
+        }
+
+    # -- staleness sweep (Figure 10) ------------------------------------------------
+
+    def run_staleness(
+        self,
+        train_start_day: int,
+        train_days: int,
+        max_offset_days: int,
+        ks: Sequence[int] = (1, 2, 3),
+        include_naive_bayes: bool = False,
+    ) -> Dict[int, Dict[str, Dict[int, float]]]:
+        """Train once; score each later day separately (paper Figure 10).
+
+        Returns ``{day offset: {model name: {k: accuracy}}}``.  Day
+        offset 0 is the first day after training ends.
+        """
+        scenario = self.scenario
+        train_lo = train_start_day * 24
+        train_hi = train_lo + train_days * 24
+        train_acc = self.collect_window(train_lo, train_hi)
+        train_counts = self.counts_from(train_acc)
+        models = self.build_models(train_counts, include_naive_bayes)
+
+        out: Dict[int, Dict[str, Dict[int, float]]] = {}
+        for offset in range(max_offset_days):
+            day_lo = train_hi + offset * 24
+            day_hi = day_lo + 24
+            if day_hi > scenario.horizon_hours:
+                break
+            day_acc = self.collect_window(day_lo, day_hi)
+            actuals = self._actuals_from_pairs(day_acc.total)
+            slices = [(actuals, NO_LINKS)]
+            oracle_counts = CountsAccumulator()
+            for context, by_link in actuals.items():
+                for link, bytes_ in by_link.items():
+                    oracle_counts.add(context, link, bytes_)
+            oracles: List[IngressModel] = [
+                OracleModel(FEATURES_A), OracleModel(FEATURES_AP),
+                OracleModel(FEATURES_AL)]
+            oracle_counts.fit(oracles)
+            block = self._block(slices, list(oracles) + list(models), ks)
+            out[offset] = block.rows
+        return out

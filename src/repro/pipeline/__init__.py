@@ -1,0 +1,25 @@
+"""Data pipeline: records, encoding, aggregation, outages, streaming."""
+
+from .records import AggRecord, FlowContext, UNKNOWN_LOCATION
+from .encoding import EncoderSet, OrdinalEncoder
+from .aggregation import CompressionStats, HourlyAggregator
+from .outages import (
+    Outage,
+    OutageInference,
+    OutageParams,
+    first_outage_days,
+    last_outage_days_before,
+    schedule_outages,
+)
+from .dataset import HourConsumer, LinkByteTracker, fanout
+from .traces import counts_from_trace, read_trace, write_trace
+
+__all__ = [
+    "counts_from_trace", "read_trace", "write_trace",
+    "AggRecord", "FlowContext", "UNKNOWN_LOCATION",
+    "EncoderSet", "OrdinalEncoder",
+    "CompressionStats", "HourlyAggregator",
+    "Outage", "OutageInference", "OutageParams",
+    "first_outage_days", "last_outage_days_before", "schedule_outages",
+    "HourConsumer", "LinkByteTracker", "fanout",
+]

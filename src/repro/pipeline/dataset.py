@@ -1,0 +1,64 @@
+"""Streaming dataset plumbing.
+
+The Azure pipeline streams TBs/day through aggregation into the learning
+system; nothing holds raw telemetry in memory.  The same architecture
+holds here: consumers implement :class:`HourConsumer` and are fed one
+hour of aggregated records at a time.  The only dense artifact kept for a
+whole window is the per-link hourly byte matrix (:class:`LinkByteTracker`)
+— it is what outage inference (§5.1.1) and the CMS utilization monitor
+(§4.4) read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Protocol, Sequence
+
+import numpy as np
+
+from .records import AggRecord
+
+
+class HourConsumer(Protocol):
+    """Anything that consumes the hourly aggregated stream."""
+
+    def consume_hour(self, hour: int, records: Sequence[AggRecord]) -> None:
+        ...
+
+
+class LinkByteTracker:
+    """Per-link, per-hour sampled byte totals."""
+
+    def __init__(self, link_ids: Sequence[int], n_hours: int):
+        self.link_ids = tuple(link_ids)
+        self._index: Dict[int, int] = {l: i for i, l in enumerate(self.link_ids)}
+        self.matrix = np.zeros((len(self.link_ids), n_hours))
+
+    def consume_hour(self, hour: int, records: Sequence[AggRecord]) -> None:
+        for record in records:
+            idx = self._index.get(record.link_id)
+            if idx is not None:
+                self.matrix[idx, hour] += record.bytes
+
+    def add_bulk(self, hour: int, link_ids: np.ndarray,
+                 bytes_: np.ndarray) -> None:
+        """Vectorised accumulation used by the scenario fast path."""
+        rows = np.array([self._index[l] for l in link_ids])
+        np.add.at(self.matrix[:, hour], rows, bytes_)
+
+    def row_index(self, link_id: int) -> int:
+        return self._index[link_id]
+
+    def bytes_for(self, link_id: int) -> np.ndarray:
+        return self.matrix[self._index[link_id]]
+
+    def utilization(self, link_id: int, capacity_gbps: float) -> np.ndarray:
+        """Average hourly utilization as a fraction of capacity."""
+        capacity_bytes_hour = capacity_gbps * 1e9 / 8.0 * 3600.0
+        return self.bytes_for(link_id) / capacity_bytes_hour
+
+
+def fanout(hour: int, records: Sequence[AggRecord],
+           consumers: Iterable[HourConsumer]) -> None:
+    """Feed one aggregated hour to several consumers."""
+    for consumer in consumers:
+        consumer.consume_hour(hour, records)

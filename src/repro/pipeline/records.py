@@ -1,0 +1,44 @@
+"""Record types flowing through the data pipeline.
+
+``AggRecord`` is the unit TIPSY trains on: IPFIX joined with metadata and
+aggregated into hour-long chunks, indexed by only the features TIPSY uses
+(paper §4.2).  String features (location, region, service) are ordinal-
+encoded to ints by the aggregation stage; ``FlowContext`` carries the same
+feature fields without the hour/link/bytes, and is what models receive at
+prediction time.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+#: encoded value used when the Geo-IP database has no entry for a prefix
+UNKNOWN_LOCATION = -1
+
+
+class AggRecord(NamedTuple):
+    """One hourly, feature-indexed, metadata-joined traffic observation."""
+
+    hour: int
+    link_id: int
+    src_asn: int
+    src_prefix: int
+    src_loc: int        # ordinal-encoded metro (UNKNOWN_LOCATION if absent)
+    dest_region: int    # ordinal-encoded region
+    dest_service: int   # ordinal-encoded service type
+    bytes: float
+
+    @property
+    def context(self) -> "FlowContext":
+        return FlowContext(self.src_asn, self.src_prefix, self.src_loc,
+                           self.dest_region, self.dest_service)
+
+
+class FlowContext(NamedTuple):
+    """The full feature tuple of a flow aggregate, without measurement."""
+
+    src_asn: int
+    src_prefix: int
+    src_loc: int
+    dest_region: int
+    dest_service: int

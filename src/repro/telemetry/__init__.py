@@ -1,0 +1,21 @@
+"""Telemetry substrate: IPFIX, BMP, Geo-IP, metadata."""
+
+from .ipfix import DEFAULT_PACKET_BYTES, DEFAULT_SAMPLING_RATE, IpfixExporter, IpfixRecord
+from .geoip import GeoIPDatabase
+from .bmp import BmpFeed, BmpMessage
+from .metadata import LinkMetadata, MetadataStore
+from .snmp import (
+    InferenceQuality,
+    SnmpParams,
+    SnmpPoller,
+    SnmpReading,
+    compare_inference,
+    infer_outages_from_snmp,
+)
+
+__all__ = [
+    "DEFAULT_PACKET_BYTES", "DEFAULT_SAMPLING_RATE", "IpfixExporter", "IpfixRecord",
+    "GeoIPDatabase", "BmpFeed", "BmpMessage", "LinkMetadata", "MetadataStore",
+    "InferenceQuality", "SnmpParams", "SnmpPoller", "SnmpReading",
+    "compare_inference", "infer_outages_from_snmp",
+]

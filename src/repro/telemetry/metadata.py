@@ -1,0 +1,50 @@
+"""Network metadata joins (paper §4.1, item 3).
+
+The Azure pipeline augments IPFIX with: which cloud service and metro
+region a destination belongs to, where the external source prefix
+originates (Geo-IP), and which peer/geography a collecting link belongs
+to.  ``MetadataStore`` bundles those lookups so the aggregation stage can
+do a single join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..topology.wan import CloudWAN
+from .geoip import GeoIPDatabase
+
+
+@dataclass(frozen=True)
+class LinkMetadata:
+    """Who and where a peering link is."""
+
+    link_id: int
+    peer_asn: int
+    metro: str
+    router: str
+    capacity_gbps: float
+    kind: str
+
+
+class MetadataStore:
+    """Joins IPFIX identifiers to the features TIPSY trains on."""
+
+    def __init__(self, wan: CloudWAN, geoip: GeoIPDatabase):
+        self.wan = wan
+        self.geoip = geoip
+
+    def link_metadata(self, link_id: int) -> LinkMetadata:
+        link = self.wan.link(link_id)
+        return LinkMetadata(link.link_id, link.peer_asn, link.metro,
+                            link.router, link.capacity_gbps, link.kind)
+
+    def destination_features(self, dest_prefix_id: int) -> Tuple[str, str]:
+        """(region, service type) for a destination prefix."""
+        dest = self.wan.dest_prefix(dest_prefix_id)
+        return dest.region, dest.service
+
+    def source_location(self, src_prefix_id: int) -> Optional[str]:
+        """Geo-IP metro of the source /24 (may be imprecise or missing)."""
+        return self.geoip.lookup(src_prefix_id)

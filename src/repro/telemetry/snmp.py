@@ -1,0 +1,183 @@
+"""Synthetic SNMP interface-status polling.
+
+The paper infers outages from IPFIX rather than SNMP: "We found that
+other sources, such as SNMP, were far less reliable" (§5.1.1).  To
+reproduce that design rationale, this module models an SNMP poller with
+its real failure modes:
+
+* **polling cadence** — status is sampled every N minutes, so short
+  flaps between polls are invisible;
+* **missed polls** — collectors drop some polls (timeouts, device CPU);
+* **stale agents** — some devices keep reporting the last status for a
+  while after a transition ("ifOperStatus lies");
+* **flapping noise** — occasional spurious down readings.
+
+:func:`compare_inference` quantifies SNMP's detection quality against a
+ground-truth outage schedule, so a benchmark can show why TIPSY trusts
+the data plane instead.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..pipeline.outages import Outage
+
+
+@dataclass(frozen=True)
+class SnmpReading:
+    """One polled interface status."""
+
+    link_id: int
+    hour: float
+    oper_up: bool
+
+
+@dataclass
+class SnmpParams:
+    """Poller unreliability knobs."""
+
+    poll_minutes: int = 15
+    # probability an individual poll is lost entirely
+    missed_poll_rate: float = 0.08
+    # probability a device reports stale status after a transition, and
+    # for how many polls the staleness persists
+    stale_agent_fraction: float = 0.10
+    stale_polls: int = 4
+    # probability of a spurious 'down' reading on a healthy link
+    false_down_rate: float = 0.002
+
+
+class SnmpPoller:
+    """Polls link status against a ground-truth outage schedule."""
+
+    def __init__(self, link_ids: Sequence[int],
+                 outages: Sequence[Outage],
+                 params: Optional[SnmpParams] = None,
+                 seed: int = 0):
+        self.link_ids = tuple(link_ids)
+        self.params = params or SnmpParams()
+        self._rng = random.Random(seed ^ 0x51F3)
+        self._outages_by_link: Dict[int, List[Outage]] = {}
+        for outage in outages:
+            self._outages_by_link.setdefault(outage.link_id, []).append(outage)
+        self._stale: Set[int] = {
+            link for link in self.link_ids
+            if self._rng.random() < self.params.stale_agent_fraction
+        }
+
+    def _truth_up(self, link_id: int, hour: float) -> bool:
+        for outage in self._outages_by_link.get(link_id, ()):
+            if outage.start_hour <= hour < outage.end_hour:
+                return False
+        return True
+
+    def poll_window(self, start_hour: int,
+                    end_hour: int) -> List[SnmpReading]:
+        """All readings the poller manages to collect over a window."""
+        params = self.params
+        step = params.poll_minutes / 60.0
+        readings: List[SnmpReading] = []
+        for link_id in self.link_ids:
+            stale_left = 0
+            last_status = True
+            hour = float(start_hour)
+            while hour < end_hour:
+                truth = self._truth_up(link_id, hour)
+                if self._rng.random() >= params.missed_poll_rate:
+                    if link_id in self._stale:
+                        if truth != last_status and stale_left == 0:
+                            stale_left = params.stale_polls
+                        if stale_left > 0:
+                            stale_left -= 1
+                            reported = last_status
+                        else:
+                            reported = truth
+                            last_status = truth
+                    else:
+                        reported = truth
+                        last_status = truth
+                    if reported and self._rng.random() < params.false_down_rate:
+                        reported = False
+                    readings.append(SnmpReading(link_id, hour, reported))
+                hour += step
+        return readings
+
+
+def infer_outages_from_snmp(readings: Iterable[SnmpReading],
+                            min_hours: float = 1.0) -> List[Outage]:
+    """Outage intervals from SNMP readings (hour-rounded, like §5.1.1).
+
+    Consecutive 'down' readings on a link become an interval; intervals
+    shorter than ``min_hours`` are dropped (flap suppression).
+    """
+    by_link: Dict[int, List[SnmpReading]] = {}
+    for reading in readings:
+        by_link.setdefault(reading.link_id, []).append(reading)
+    out: List[Outage] = []
+    for link_id, link_readings in by_link.items():
+        link_readings.sort(key=lambda r: r.hour)
+        start: Optional[float] = None
+        last_down: Optional[float] = None
+        for reading in link_readings:
+            if not reading.oper_up:
+                if start is None:
+                    start = reading.hour
+                last_down = reading.hour
+            else:
+                if start is not None and last_down is not None:
+                    if last_down - start >= min_hours - 1e-9:
+                        out.append(Outage(link_id, int(start),
+                                          int(last_down) + 1))
+                start = last_down = None
+        if start is not None and last_down is not None:
+            if last_down - start >= min_hours - 1e-9:
+                out.append(Outage(link_id, int(start), int(last_down) + 1))
+    out.sort(key=lambda o: (o.start_hour, o.link_id))
+    return out
+
+
+@dataclass(frozen=True)
+class InferenceQuality:
+    """Detection quality of an inferred outage set vs ground truth."""
+
+    truth_link_hours: int
+    detected_link_hours: int
+    false_link_hours: int
+
+    @property
+    def recall(self) -> float:
+        if self.truth_link_hours == 0:
+            return 1.0
+        return self.detected_link_hours / self.truth_link_hours
+
+    @property
+    def precision(self) -> float:
+        total = self.detected_link_hours + self.false_link_hours
+        if total == 0:
+            return 1.0
+        return self.detected_link_hours / total
+
+
+def compare_inference(truth: Sequence[Outage], inferred: Sequence[Outage],
+                      start_hour: int, end_hour: int) -> InferenceQuality:
+    """Link-hour recall/precision of inferred outages against truth."""
+    def link_hours(outages) -> Set[Tuple[int, int]]:
+        hours = set()
+        for outage in outages:
+            for hour in range(max(outage.start_hour, start_hour),
+                              min(outage.end_hour, end_hour)):
+                hours.add((outage.link_id, hour))
+        return hours
+
+    truth_hours = link_hours(truth)
+    inferred_hours = link_hours(inferred)
+    detected = truth_hours & inferred_hours
+    false = inferred_hours - truth_hours
+    return InferenceQuality(
+        truth_link_hours=len(truth_hours),
+        detected_link_hours=len(detected),
+        false_link_hours=len(false),
+    )

@@ -1,0 +1,22 @@
+"""Topology substrate: geography, AS graph, and the cloud WAN."""
+
+from .geography import EARTH_RADIUS_KM, Metro, MetroCatalog, WORLD_METROS, haversine_km
+from .relationships import ASLink, LOCAL_PREF, Relationship, exportable, is_valley_free
+from .asgraph import ASGraph, ASNode, ASRole, Pocket, TopologyParams, generate_as_graph
+from .wan import (
+    CloudWAN,
+    DEFAULT_SERVICES,
+    DestPrefix,
+    PeeringLink,
+    Region,
+    WANParams,
+    generate_wan,
+)
+
+__all__ = [
+    "EARTH_RADIUS_KM", "Metro", "MetroCatalog", "WORLD_METROS", "haversine_km",
+    "ASLink", "LOCAL_PREF", "Relationship", "exportable", "is_valley_free",
+    "ASGraph", "ASNode", "ASRole", "Pocket", "TopologyParams", "generate_as_graph",
+    "CloudWAN", "DEFAULT_SERVICES", "DestPrefix", "PeeringLink", "Region",
+    "WANParams", "generate_wan",
+]

@@ -1,0 +1,111 @@
+"""AS business relationships (Gao-Rexford model).
+
+Inter-domain routing policy in the synthetic Internet follows the classic
+customer/provider/peer model: an AS prefers routes learned from customers
+over routes learned from peers over routes learned from providers, and only
+exports customer routes (and its own) to peers and providers ("valley-free"
+routing).  TIPSY never observes these relationships — they are part of the
+opaque Internet the predictor must learn around (paper §2, challenge 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class Relationship(enum.Enum):
+    """Relationship of a neighbor *to us*, from our point of view."""
+
+    CUSTOMER = "customer"  # the neighbor pays us
+    PEER = "peer"          # settlement-free
+    PROVIDER = "provider"  # we pay the neighbor
+
+    def invert(self) -> "Relationship":
+        """The same edge seen from the other side."""
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER
+
+
+#: BGP local-preference ordering implied by the relationship of the neighbor
+#: the route was learned from.  Higher is preferred (Gao-Rexford).
+LOCAL_PREF: Dict[Relationship, int] = {
+    Relationship.CUSTOMER: 300,
+    Relationship.PEER: 200,
+    Relationship.PROVIDER: 100,
+}
+
+
+def exportable(learned_from: Relationship, export_to: Relationship) -> bool:
+    """Whether a route learned from one neighbor may be exported to another.
+
+    Valley-free export rule: routes learned from customers are exported to
+    everyone; routes learned from peers or providers are exported only to
+    customers.
+
+    Args:
+        learned_from: relationship of the neighbor the route was learned
+            from, from the exporting AS's point of view.
+        export_to: relationship of the neighbor the route would be sent to.
+
+    Returns:
+        True if exporting the route respects valley-free routing.
+    """
+    if learned_from is Relationship.CUSTOMER:
+        return True
+    return export_to is Relationship.CUSTOMER
+
+
+def is_valley_free(path_relationships: Tuple[Relationship, ...]) -> bool:
+    """Whether an AS path is valley-free.
+
+    ``path_relationships`` gives, for each hop, the relationship of the
+    *next* AS as seen from the current AS (the direction of travel of
+    traffic).  A valley-free path is zero or more PROVIDER ("up") steps,
+    then at most one PEER step, then zero or more CUSTOMER ("down") steps.
+    """
+    phase = 0  # 0 = climbing, 1 = after peak (peer or first down-step)
+    for rel in path_relationships:
+        if rel is Relationship.PROVIDER:
+            if phase != 0:
+                return False
+        elif rel is Relationship.PEER:
+            if phase != 0:
+                return False
+            phase = 1
+        else:  # CUSTOMER: going down
+            phase = 1
+    return True
+
+
+@dataclass(frozen=True)
+class ASLink:
+    """An inter-AS adjacency with its business relationship.
+
+    The relationship is stored from ``a``'s point of view: ``rel_of_b`` is
+    what ``b`` is to ``a``.  E.g. ``rel_of_b == CUSTOMER`` means ``b`` is
+    ``a``'s customer.
+    """
+
+    a: int
+    b: int
+    rel_of_b: Relationship
+
+    def relationship_of(self, asn: int) -> Relationship:
+        """The relationship of the *other* endpoint, from ``asn``'s view."""
+        if asn == self.a:
+            return self.rel_of_b
+        if asn == self.b:
+            return self.rel_of_b.invert()
+        raise ValueError(f"AS{asn} is not an endpoint of {self}")
+
+    def other(self, asn: int) -> int:
+        if asn == self.a:
+            return self.b
+        if asn == self.b:
+            return self.a
+        raise ValueError(f"AS{asn} is not an endpoint of {self}")

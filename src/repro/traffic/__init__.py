@@ -1,0 +1,39 @@
+"""Traffic substrate: prefixes, workloads, diurnal patterns, generation."""
+
+from .diurnal import (
+    DAYS_PER_WEEK,
+    HOURS_PER_DAY,
+    diurnal_factor,
+    diurnal_factors_vec,
+    local_hour,
+    tz_offset_hours,
+    weekday,
+)
+from .prefixes import DEFAULT_PREFIX_COUNTS, PrefixUniverse, SourcePrefix
+from .workloads import (
+    BATCH,
+    CONSUMER,
+    ENTERPRISE,
+    FLAT,
+    PROFILES,
+    SERVICE_PROFILES,
+    WorkloadProfile,
+    profile_for,
+)
+from .generator import (
+    DEFAULT_DISTANCE_TARGETS,
+    DEFAULT_ROLE_WEIGHTS,
+    FlowSpec,
+    TrafficGenerator,
+    TrafficParams,
+)
+
+__all__ = [
+    "DAYS_PER_WEEK", "HOURS_PER_DAY", "diurnal_factor", "diurnal_factors_vec",
+    "local_hour", "tz_offset_hours", "weekday",
+    "DEFAULT_PREFIX_COUNTS", "PrefixUniverse", "SourcePrefix",
+    "BATCH", "CONSUMER", "ENTERPRISE", "FLAT", "PROFILES", "SERVICE_PROFILES",
+    "WorkloadProfile", "profile_for",
+    "DEFAULT_DISTANCE_TARGETS", "DEFAULT_ROLE_WEIGHTS", "FlowSpec",
+    "TrafficGenerator", "TrafficParams",
+]

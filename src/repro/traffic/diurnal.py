@@ -1,0 +1,70 @@
+"""Diurnal and weekly traffic modulation.
+
+The paper picks a 7-day testing window because it "covers commonly
+observed diurnal and weekly traffic patterns" (Appendix B.2).  This module
+provides those patterns: a cosine daily cycle anchored at a profile's local
+peak hour, plus a weekend factor.  Local time is approximated from the
+metro's longitude (15° per hour), which is plenty for traffic shaping.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+HOURS_PER_DAY = 24
+DAYS_PER_WEEK = 7
+
+
+def tz_offset_hours(lon: float) -> int:
+    """Crude timezone offset from longitude (15 degrees per hour)."""
+    return int(round(lon / 15.0))
+
+
+def local_hour(hour_utc: int, tz_offset: int) -> int:
+    """Local hour-of-day for an absolute UTC hour index."""
+    return (hour_utc + tz_offset) % HOURS_PER_DAY
+
+
+def weekday(hour_utc: int) -> int:
+    """Day-of-week (0=Monday) for an absolute hour index from a Monday."""
+    return (hour_utc // HOURS_PER_DAY) % DAYS_PER_WEEK
+
+
+def diurnal_factor(
+    local_hr: float,
+    peak_hour: float,
+    amplitude: float,
+    is_weekend: bool,
+    weekend_factor: float,
+    floor: float = 0.05,
+) -> float:
+    """Traffic multiplier for one local hour.
+
+    ``1 + amplitude`` at the peak hour, ``1 - amplitude`` at the trough,
+    scaled by ``weekend_factor`` on Saturdays/Sundays, floored at
+    ``floor`` so flows never fully vanish (they are long-lived).
+    """
+    phase = 2.0 * math.pi * (local_hr - peak_hour) / HOURS_PER_DAY
+    factor = 1.0 + amplitude * math.cos(phase)
+    if is_weekend:
+        factor *= weekend_factor
+    return max(factor, floor)
+
+
+def diurnal_factors_vec(
+    local_hrs: np.ndarray,
+    peak_hours: np.ndarray,
+    amplitudes: np.ndarray,
+    is_weekend: bool,
+    weekend_factors: np.ndarray,
+    floor: float = 0.05,
+) -> np.ndarray:
+    """Vectorised :func:`diurnal_factor` over aligned flow arrays."""
+    phase = 2.0 * np.pi * (local_hrs - peak_hours) / HOURS_PER_DAY
+    factors = 1.0 + amplitudes * np.cos(phase)
+    if is_weekend:
+        factors = factors * weekend_factors
+    return np.maximum(factors, floor)

@@ -1,0 +1,79 @@
+"""Workload profiles for cloud service types.
+
+The paper motivates ingress congestion with enterprise workloads — video
+conferencing, document hosting, video AI+ML pipelines, IPSec/VPN tunnels
+extending on-prem networks into the cloud (§1, §2).  Each cloud service
+type maps to a coarse profile that shapes its flows' diurnal behaviour and
+size distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Traffic shape for a family of services.
+
+    Attributes:
+        name: profile family name.
+        peak_hour: local hour of peak demand.
+        amplitude: diurnal swing (0 = flat, 0.9 = near-silent trough).
+        weekend_factor: multiplier applied on Saturday/Sunday.
+        rate_sigma: lognormal sigma of per-flow base rates (heavy tail).
+        rate_scale_mbps: lognormal median of per-flow base rates.
+    """
+
+    name: str
+    peak_hour: float
+    amplitude: float
+    weekend_factor: float
+    rate_sigma: float
+    rate_scale_mbps: float
+
+
+ENTERPRISE = WorkloadProfile("enterprise", peak_hour=14.0, amplitude=0.7,
+                             weekend_factor=0.35, rate_sigma=1.6, rate_scale_mbps=3.0)
+CONSUMER = WorkloadProfile("consumer", peak_hour=20.0, amplitude=0.5,
+                           weekend_factor=1.2, rate_sigma=1.3, rate_scale_mbps=1.0)
+BATCH = WorkloadProfile("batch", peak_hour=2.0, amplitude=0.6,
+                        weekend_factor=1.0, rate_sigma=2.0, rate_scale_mbps=8.0)
+FLAT = WorkloadProfile("flat", peak_hour=12.0, amplitude=0.1,
+                       weekend_factor=1.0, rate_sigma=1.0, rate_scale_mbps=0.5)
+
+PROFILES: Tuple[WorkloadProfile, ...] = (ENTERPRISE, CONSUMER, BATCH, FLAT)
+
+#: service type -> profile (covers :data:`repro.topology.wan.DEFAULT_SERVICES`)
+SERVICE_PROFILES: Dict[str, WorkloadProfile] = {
+    "storage": ENTERPRISE,
+    "web": CONSUMER,
+    "conferencing": ENTERPRISE,
+    "email": ENTERPRISE,
+    "ai-training": BATCH,
+    "video-analytics": BATCH,
+    "vpn-gateway": ENTERPRISE,
+    "cdn-origin": CONSUMER,
+    "database": ENTERPRISE,
+    "gaming": CONSUMER,
+    "iot-hub": FLAT,
+    "backup": BATCH,
+    "search": CONSUMER,
+    "auth": FLAT,
+    "queueing": FLAT,
+    "monitoring": FLAT,
+    "code-hosting": ENTERPRISE,
+    "virtual-desktop": ENTERPRISE,
+    "media-upload": CONSUMER,
+    "dns": FLAT,
+    "cache": CONSUMER,
+    "batch": BATCH,
+    "speech": ENTERPRISE,
+    "maps": CONSUMER,
+}
+
+
+def profile_for(service: str) -> WorkloadProfile:
+    """Profile for a service type; unknown services behave as enterprise."""
+    return SERVICE_PROFILES.get(service, ENTERPRISE)

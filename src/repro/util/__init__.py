@@ -1,0 +1,5 @@
+"""Shared utilities (deterministic hashing, small helpers)."""
+
+from .hashing import geometric_day, mix64, pick, rotation, unit
+
+__all__ = ["geometric_day", "mix64", "pick", "rotation", "unit"]

@@ -1,0 +1,58 @@
+"""Tests for BGP message and route types."""
+
+import pytest
+
+from repro.bgp import Announcement, Origin, Route, Withdrawal
+
+
+class TestRoute:
+    def test_origin_and_neighbor_as(self):
+        route = Route("10.0.0.0/24", (3, 7, 42), "r1")
+        assert route.neighbor_as == 3
+        assert route.origin_as == 42
+
+    def test_empty_path(self):
+        route = Route("10.0.0.0/24", (), "self")
+        assert route.neighbor_as is None
+        assert route.origin_as is None
+
+    def test_loop_detection(self):
+        route = Route("10.0.0.0/24", (3, 7, 42), "r1")
+        assert route.has_loop(7)
+        assert not route.has_loop(9)
+
+    def test_prepend(self):
+        route = Route("10.0.0.0/24", (7,), "r1", local_pref=200, med=5)
+        prepended = route.prepended(3, times=2)
+        assert prepended.as_path == (3, 3, 7)
+        # attributes preserved
+        assert prepended.local_pref == 200
+        assert prepended.med == 5
+        assert prepended.prefix == route.prefix
+
+    def test_prepend_invalid_count(self):
+        route = Route("10.0.0.0/24", (7,), "r1")
+        with pytest.raises(ValueError):
+            route.prepended(3, times=0)
+
+    def test_frozen(self):
+        route = Route("10.0.0.0/24", (7,), "r1")
+        with pytest.raises(AttributeError):
+            route.med = 9
+
+    def test_origin_enum_ordering(self):
+        assert Origin.IGP < Origin.EGP < Origin.INCOMPLETE
+
+
+class TestMessages:
+    def test_announcement_sequence_monotonic(self):
+        r = Route("10.0.0.0/24", (7,), "r1")
+        a1 = Announcement("s1", r)
+        a2 = Announcement("s1", r)
+        assert a2.seq > a1.seq
+
+    def test_withdrawal_fields(self):
+        w = Withdrawal("s2", "10.0.0.0/24", timestamp=12.5)
+        assert w.session == "s2"
+        assert w.prefix == "10.0.0.0/24"
+        assert w.timestamp == 12.5

@@ -1,0 +1,73 @@
+"""Tests for the BGP decision process."""
+
+from repro.bgp import Origin, Route, best_route, best_routes, compare
+
+
+def mk(prefix="10.0.0.0/24", path=(7,), nh="r1", lp=100, med=0,
+       origin=Origin.IGP):
+    return Route(prefix, tuple(path), nh, local_pref=lp, med=med,
+                 origin=origin)
+
+
+class TestBestRoute:
+    def test_empty(self):
+        assert best_route([]) is None
+
+    def test_local_pref_wins_over_path_length(self):
+        long_but_preferred = mk(path=(1, 2, 3, 4), lp=300)
+        short = mk(path=(9,), lp=100)
+        assert best_route([short, long_but_preferred]) is long_but_preferred
+
+    def test_shorter_path_wins_at_equal_pref(self):
+        short = mk(path=(1, 2))
+        long = mk(path=(3, 4, 5))
+        assert best_route([long, short]) is short
+
+    def test_lower_origin_wins(self):
+        igp = mk(origin=Origin.IGP)
+        incomplete = mk(origin=Origin.INCOMPLETE, nh="r2")
+        assert best_route([incomplete, igp]) is igp
+
+    def test_med_compared_for_same_neighbor(self):
+        low_med = mk(path=(7, 9), med=10)
+        high_med = mk(path=(7, 9), med=50, nh="r2")
+        assert best_route([high_med, low_med]) is low_med
+
+    def test_lower_neighbor_asn_tie_break(self):
+        via3 = mk(path=(3, 9))
+        via5 = mk(path=(5, 9))
+        assert best_route([via5, via3]) is via3
+
+    def test_deterministic_final_tie_break_on_next_hop(self):
+        a = mk(nh="a")
+        b = mk(nh="b")
+        assert best_route([b, a]) is a
+        assert best_route([a, b]) is a
+
+
+class TestBestRoutes:
+    def test_multipath_set(self):
+        r1 = mk(path=(3, 9), nh="a")
+        r2 = mk(path=(5, 9), nh="b")
+        worse = mk(path=(5, 9, 11), nh="c")
+        result = best_routes([worse, r2, r1])
+        assert result == [r1, r2]
+
+    def test_empty(self):
+        assert best_routes([]) == []
+
+    def test_single(self):
+        r = mk()
+        assert best_routes([r]) == [r]
+
+
+class TestCompare:
+    def test_antisymmetric(self):
+        a = mk(path=(1,))
+        b = mk(path=(1, 2))
+        assert compare(a, b) == -1
+        assert compare(b, a) == 1
+
+    def test_equal(self):
+        a = mk()
+        assert compare(a, a) == 0

@@ -1,0 +1,96 @@
+"""Tests for the edge-router RIB model."""
+
+import pytest
+
+from repro.bgp import Announcement, EdgeRouter, Route, Withdrawal
+
+
+def ann(session, prefix, path, lp=100):
+    return Announcement(session, Route(prefix, tuple(path),
+                                       next_hop=session, local_pref=lp))
+
+
+class TestAdjRibIn:
+    def test_announce_then_withdraw(self):
+        router = EdgeRouter("er1")
+        router.add_session("s1")
+        router.receive(ann("s1", "10.0.0.0/24", (7,)))
+        rib = router.adj_rib_in("s1")
+        assert rib.route_for("10.0.0.0/24") is not None
+        router.receive(Withdrawal("s1", "10.0.0.0/24"))
+        assert rib.route_for("10.0.0.0/24") is None
+
+    def test_implicit_withdraw_replaces(self):
+        router = EdgeRouter("er1")
+        router.add_session("s1")
+        router.receive(ann("s1", "10.0.0.0/24", (7,)))
+        router.receive(ann("s1", "10.0.0.0/24", (7, 8)))
+        route = router.adj_rib_in("s1").route_for("10.0.0.0/24")
+        assert route.as_path == (7, 8)
+        assert len(router.adj_rib_in("s1")) == 1
+
+    def test_wrong_session_rejected(self):
+        router = EdgeRouter("er1")
+        router.add_session("s1")
+        with pytest.raises(KeyError):
+            router.receive(ann("s2", "10.0.0.0/24", (7,)))
+
+
+class TestLocRib:
+    def test_best_route_across_sessions(self):
+        router = EdgeRouter("er1")
+        router.add_session("s1")
+        router.add_session("s2")
+        router.receive(ann("s1", "10.0.0.0/24", (7, 9)))
+        router.receive(ann("s2", "10.0.0.0/24", (8,)))
+        best = router.loc_rib.best_for("10.0.0.0/24")
+        assert best.as_path == (8,)  # shorter path wins
+
+    def test_withdraw_falls_back(self):
+        router = EdgeRouter("er1")
+        router.add_session("s1")
+        router.add_session("s2")
+        router.receive(ann("s1", "10.0.0.0/24", (7, 9)))
+        router.receive(ann("s2", "10.0.0.0/24", (8,)))
+        router.receive(Withdrawal("s2", "10.0.0.0/24"))
+        best = router.loc_rib.best_for("10.0.0.0/24")
+        assert best.as_path == (7, 9)
+
+    def test_all_withdrawn_clears_best(self):
+        router = EdgeRouter("er1")
+        router.add_session("s1")
+        router.receive(ann("s1", "10.0.0.0/24", (7,)))
+        router.receive(Withdrawal("s1", "10.0.0.0/24"))
+        assert router.loc_rib.best_for("10.0.0.0/24") is None
+
+
+class TestOutboundAdvertisements:
+    def test_announce_withdraw_cycle(self):
+        router = EdgeRouter("er1")
+        router.add_session("s1")
+        router.announce("s1", "100.64.0.0/10")
+        assert router.is_advertised("s1", "100.64.0.0/10")
+        message = router.withdraw("s1", "100.64.0.0/10")
+        assert not router.is_advertised("s1", "100.64.0.0/10")
+        assert message.prefix == "100.64.0.0/10"
+
+    def test_advertised_listing_sorted(self):
+        router = EdgeRouter("er1")
+        router.add_session("s1")
+        router.announce("s1", "b/24")
+        router.announce("s1", "a/24")
+        assert router.advertised("s1") == ("a/24", "b/24")
+
+    def test_duplicate_session_rejected(self):
+        router = EdgeRouter("er1")
+        router.add_session("s1")
+        with pytest.raises(ValueError):
+            router.add_session("s1")
+
+    def test_message_log_records_everything(self):
+        router = EdgeRouter("er1")
+        router.add_session("s1")
+        router.receive(ann("s1", "10.0.0.0/24", (7,)))
+        router.announce("s1", "100.64.0.0/10")
+        router.withdraw("s1", "100.64.0.0/10")
+        assert len(router.message_log) == 3

@@ -1,0 +1,265 @@
+"""Tests for the ingress simulator: the ground-truth routing engine."""
+
+import pytest
+
+from repro.bgp import AdvertisementState, IngressSimulator, SimulatorParams
+from repro.topology import (
+    ASGraph,
+    ASNode,
+    ASRole,
+    CloudWAN,
+    DestPrefix,
+    MetroCatalog,
+    PeeringLink,
+    Pocket,
+    Region,
+    Relationship,
+)
+
+
+def build_world():
+    """Small deterministic world: tier1, transit, CDN with a pocket,
+    stub; WAN with links to tier1, transit and CDN."""
+    metros = MetroCatalog()
+    g = ASGraph(metros)
+    g.add_as(ASNode(1, ASRole.TIER1, ("sea", "lon", "sin", "nyc")))
+    g.add_as(ASNode(2, ASRole.TRANSIT, ("sea", "nyc")))
+    g.add_as(ASNode(3, ASRole.CDN, ("sea", "lon", "sin"),
+                    pockets=(Pocket(frozenset({"sin"}), (1,)),)))
+    g.add_as(ASNode(4, ASRole.STUB, ("nyc",)))
+    g.add_link(2, 1, Relationship.PROVIDER)
+    g.add_link(3, 1, Relationship.PROVIDER)
+    g.add_link(4, 2, Relationship.PROVIDER)
+
+    links = [
+        PeeringLink(0, 1, "sea", "sea-er1", 400.0),
+        PeeringLink(1, 1, "lon", "lon-er1", 400.0),
+        PeeringLink(2, 2, "sea", "sea-er2", 100.0),
+        PeeringLink(3, 2, "nyc", "nyc-er1", 100.0),
+        PeeringLink(4, 3, "sea", "sea-er3", 400.0),
+        PeeringLink(5, 3, "lon", "lon-er2", 400.0),
+        PeeringLink(6, 2, "nyc", "nyc-er2", 100.0),  # parallel to link 3
+    ]
+    regions = [Region("sea-region", "sea")]
+    dests = [DestPrefix(0, "100.64.0.0/24", "sea-region", "web"),
+             DestPrefix(1, "100.64.1.0/24", "sea-region", "storage")]
+    wan = CloudWAN(8075, links, regions, dests, metros)
+    return g, wan
+
+
+@pytest.fixture()
+def world():
+    graph, wan = build_world()
+    sim = IngressSimulator(graph, wan, SimulatorParams(), seed=1)
+    return graph, wan, sim
+
+
+class TestShareVector:
+    def test_shares_sum_to_one(self, world):
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        shares = sim.resolve_shares(4, "nyc", 100, 0, state)
+        assert shares
+        assert sum(f for _l, f in shares) == pytest.approx(1.0)
+
+    def test_sorted_descending(self, world):
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        shares = sim.resolve_shares(4, "nyc", 100, 0, state)
+        fracs = [f for _l, f in shares]
+        assert fracs == sorted(fracs, reverse=True)
+
+    def test_deterministic(self, world):
+        graph, wan = build_world()
+        sim2 = IngressSimulator(graph, wan, SimulatorParams(), seed=1)
+        _g, _wan, sim = world
+        state1 = AdvertisementState(wan)
+        state2 = AdvertisementState(wan)
+        for prefix in range(20):
+            assert (sim.resolve_shares(4, "nyc", prefix, 0, state1)
+                    == sim2.resolve_shares(4, "nyc", prefix, 0, state2))
+
+    def test_seed_changes_outcomes(self):
+        graph, wan = build_world()
+        sim_a = IngressSimulator(graph, wan, seed=1)
+        sim_b = IngressSimulator(graph, wan, seed=2)
+        state = AdvertisementState(wan)
+        differs = any(
+            sim_a.resolve_shares(4, "nyc", p, 0, state)
+            != sim_b.resolve_shares(4, "nyc", p, 0, state)
+            for p in range(30)
+        )
+        assert differs
+
+    def test_internal_traffic_rejected(self, world):
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        with pytest.raises(ValueError):
+            sim.resolve_shares(wan.asn, "sea", 1, 0, state)
+
+    def test_unknown_source_as_empty(self, world):
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        assert sim.resolve_shares(999, "sea", 1, 0, state) == ()
+
+
+class TestDirectDelivery:
+    def test_stub_routes_via_provider_chain(self, world):
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        # stub 4 -> transit 2 (direct peer): delivers on 2's links
+        shares = sim.resolve_shares(4, "nyc", 100, 0, state)
+        peers = {wan.link(l).peer_asn for l, _f in shares}
+        assert peers == {2}
+
+    def test_hot_potato_prefers_near_link(self, world):
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        # the stub is in nyc; transit 2 has links in sea and nyc — the
+        # nyc link should be the byte-weighted favourite across prefixes
+        from collections import Counter
+        mass = Counter()
+        for prefix in range(200):
+            for link, frac in sim.resolve_shares(4, "nyc", prefix, 0, state):
+                mass[link] += frac
+        assert mass[3] + mass[6] > mass[2]  # nyc links beat sea link
+
+    def test_cdn_delivers_on_own_links(self, world):
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        shares = sim.resolve_shares(3, "sea", 500, 0, state)
+        peers = {wan.link(l).peer_asn for l, _f in shares}
+        assert peers == {3}
+
+
+class TestPockets:
+    def test_pocket_traffic_avoids_own_far_links(self, world):
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        # CDN 3's sin metro is a pocket with provider tier-1: traffic from
+        # sin cannot use the CDN's sea/lon links and goes via AS 1
+        shares = sim.resolve_shares(3, "sin", 600, 0, state)
+        peers = {wan.link(l).peer_asn for l, _f in shares}
+        assert peers == {1}
+
+
+class TestWithdrawalsAndOutages:
+    def test_withdrawn_link_not_used(self, world):
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        base = sim.resolve_shares(4, "nyc", 100, 0, state)
+        primary = base[0][0]
+        state.withdraw(0, primary)
+        shifted = sim.resolve_shares(4, "nyc", 100, 0, state)
+        assert shifted
+        assert primary not in {l for l, _f in shifted}
+
+    def test_withdrawal_scoped_to_prefix(self, world):
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        base = sim.resolve_shares(4, "nyc", 100, 1, state)
+        state.withdraw(0, base[0][0])  # withdraw prefix 0 only
+        unaffected = sim.resolve_shares(4, "nyc", 100, 1, state)
+        assert unaffected == base
+
+    def test_outage_affects_all_prefixes(self, world):
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        base0 = sim.resolve_shares(4, "nyc", 100, 0, state)
+        state.set_link_down(base0[0][0])
+        for dest in (0, 1):
+            shares = sim.resolve_shares(4, "nyc", 100, dest, state)
+            assert base0[0][0] not in {l for l, _f in shares}
+
+    def test_full_peer_withdrawal_reroutes_as_level(self, world):
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        # take down ALL of transit 2's links: stub traffic climbs to
+        # tier-1 and arrives on AS 1's links instead of being lost
+        for link in wan.links_of_peer(2):
+            state.set_link_down(link.link_id)
+        shares = sim.resolve_shares(4, "nyc", 100, 0, state)
+        assert shares
+        peers = {wan.link(l).peer_asn for l, _f in shares}
+        assert peers == {1}
+
+    def test_everything_down_traffic_lost(self, world):
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        for link in wan.link_ids:
+            state.set_link_down(link)
+        assert sim.resolve_shares(4, "nyc", 100, 0, state) == ()
+
+    def test_shortcut_unrelated_removal_is_identity(self, world):
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        base = sim.resolve_shares(4, "nyc", 100, 0, state)
+        # take down a CDN link the stub's traffic never touches
+        state.set_link_down(5)
+        assert sim.resolve_shares(4, "nyc", 100, 0, state) == base
+
+    def test_same_removal_same_outcome(self, world):
+        """Withdrawal outcomes are deterministic: the seen-outage
+        learnability property (DESIGN.md choice 1)."""
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        base = sim.resolve_shares(4, "nyc", 100, 0, state)
+        primary = base[0][0]
+        state.set_link_down(primary)
+        first = sim.resolve_shares(4, "nyc", 100, 0, state)
+        state.set_link_up(primary)
+        assert sim.resolve_shares(4, "nyc", 100, 0, state) == base
+        state.set_link_down(primary)
+        assert sim.resolve_shares(4, "nyc", 100, 0, state) == first
+
+
+class TestDrift:
+    def test_no_day_means_no_drift(self, world):
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        assert sim.drift_state(4, 100, 0, None) == (False, False)
+
+    def test_drift_monotone_in_time(self, world):
+        _g, wan, sim = world
+        minor_day, major_day = sim.drift_days(4, 100, 0)
+        assert sim.drift_state(4, 100, 0, minor_day - 1)[0] is False
+        assert sim.drift_state(4, 100, 0, minor_day)[0] is True
+        assert sim.drift_state(4, 100, 0, major_day)[1] is True
+
+    def test_some_flows_drift_within_horizon(self, world):
+        graph, wan = build_world()
+        sim = IngressSimulator(graph, wan, SimulatorParams(
+            minor_drift_daily=0.05), seed=3)
+        drifted = sum(
+            1 for p in range(200) if sim.drift_days(4, p, 0)[0] < 28)
+        assert 0 < drifted < 200
+
+    def test_drift_changes_shares(self, world):
+        graph, wan = build_world()
+        sim = IngressSimulator(graph, wan, SimulatorParams(
+            minor_drift_daily=0.5), seed=3)
+        state = AdvertisementState(wan)
+        changed = 0
+        for p in range(50):
+            before = sim.resolve_shares(4, "nyc", p, 0, state, day=0)
+            after = sim.resolve_shares(4, "nyc", p, 0, state, day=27)
+            if before != after:
+                changed += 1
+        assert changed > 0
+
+
+class TestRoutingTableAPI:
+    def test_as_distance(self, world):
+        _g, _wan, sim = world
+        assert sim.as_distance(1) == 1   # direct peer
+        assert sim.as_distance(2) == 1   # direct peer
+        assert sim.as_distance(4) == 2   # stub behind transit
+        assert sim.as_distance(999) is None
+
+    def test_cache_stats_populate(self, world):
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        sim.resolve_shares(4, "nyc", 100, 0, state)
+        stats = sim.cache_stats()
+        assert stats["share_entries"] >= 1
+        assert stats["tables_by_seeded"] >= 1

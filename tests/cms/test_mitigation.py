@@ -1,0 +1,167 @@
+"""Tests for the congestion mitigation system."""
+
+import pytest
+
+from repro.bgp import AdvertisementState
+from repro.cms import CMSConfig, CongestionMitigationSystem, TrafficEntry
+from repro.core import FEATURES_AP, HistoricalModel
+from repro.pipeline import FlowContext
+from repro.topology import (
+    CloudWAN,
+    DestPrefix,
+    MetroCatalog,
+    PeeringLink,
+    Region,
+)
+
+GBPS_HOUR = 1e9 / 8.0 * 3600.0
+
+
+def ctx(prefix):
+    return FlowContext(1, prefix, 0, 0, 0)
+
+
+@pytest.fixture()
+def wan():
+    metros = MetroCatalog()
+    links = [
+        PeeringLink(0, 100, "iad", "iad-er1", 1.0),
+        PeeringLink(1, 100, "iad", "iad-er2", 1.0),
+        PeeringLink(2, 100, "atl", "atl-er1", 1.0),
+        PeeringLink(3, 100, "chi", "chi-er1", 1.0),
+    ]
+    dests = [DestPrefix(0, "100.64.0.0/24", "r", "web"),
+             DestPrefix(1, "100.64.1.0/24", "r", "web")]
+    return CloudWAN(8075, links, [Region("r", "iad")], dests, metros)
+
+
+def entries_at(link, volume_gbps, prefix_id=0, n=4):
+    per = volume_gbps * GBPS_HOUR / n
+    return [TrafficEntry(link, prefix_id, ctx(100 + i), per)
+            for i in range(n)]
+
+
+class TestBlindCMS:
+    def test_withdraws_on_congestion(self, wan):
+        cms = CongestionMitigationSystem(wan, CMSConfig(coordinated=False))
+        state = AdvertisementState(wan)
+        actions = cms.handle_sample(0, state, entries_at(0, 0.9))
+        kinds = [a.kind for a in actions]
+        assert "withdraw" in kinds
+        assert not state.is_available(0, 0)
+
+    def test_no_action_below_threshold(self, wan):
+        cms = CongestionMitigationSystem(wan)
+        state = AdvertisementState(wan)
+        assert cms.handle_sample(0, state, entries_at(0, 0.5)) == []
+
+    def test_fewest_prefixes_largest_first(self, wan):
+        cms = CongestionMitigationSystem(wan, CMSConfig(coordinated=False))
+        state = AdvertisementState(wan)
+        entries = entries_at(0, 0.7, prefix_id=0) + entries_at(
+            0, 0.25, prefix_id=1)
+        cms.handle_sample(0, state, entries)
+        # withdrawing the big prefix alone brings 0.95 under target 0.70
+        assert not state.is_available(0, 0)
+        assert state.is_available(1, 0)
+
+    def test_withdrawal_budget(self, wan):
+        config = CMSConfig(coordinated=False, max_withdrawals_per_event=1,
+                           target=0.1)
+        cms = CongestionMitigationSystem(wan, config)
+        state = AdvertisementState(wan)
+        entries = entries_at(0, 0.5, prefix_id=0) + entries_at(
+            0, 0.45, prefix_id=1)
+        cms.handle_sample(0, state, entries)
+        withdrawn = [p for p in (0, 1) if not state.is_available(p, 0)]
+        assert len(withdrawn) == 1
+
+
+class TestTipsyGuidedCMS:
+    def _predictor(self, target_links):
+        model = HistoricalModel(FEATURES_AP)
+        for i in range(4):
+            model.observe(ctx(100 + i), 0, 100.0)
+            for target in target_links:
+                model.observe(ctx(100 + i), target, 10.0)
+        return model
+
+    def test_unsafe_withdrawal_skipped(self, wan):
+        # prediction says everything lands on link 1, which is already hot
+        cms = CongestionMitigationSystem(
+            wan, CMSConfig(coordinated=False),
+            predictor=self._predictor(target_links=(1,)))
+        state = AdvertisementState(wan)
+        entries = entries_at(0, 0.9, prefix_id=0) + entries_at(
+            1, 0.8, prefix_id=1)
+        actions = cms.handle_sample(0, state, entries)
+        kinds = [a.kind for a in actions]
+        assert "skip-unsafe" in kinds
+        assert state.is_available(0, 0)
+
+    def test_safe_withdrawal_proceeds(self, wan):
+        # predicted targets (links 2, 3) are idle and split the spill
+        cms = CongestionMitigationSystem(
+            wan, CMSConfig(coordinated=False),
+            predictor=self._predictor(target_links=(2, 3)))
+        state = AdvertisementState(wan)
+        actions = cms.handle_sample(0, state, entries_at(0, 0.9))
+        assert any(a.kind == "withdraw" for a in actions)
+        assert not state.is_available(0, 0)
+
+    def test_predicted_spill_recorded(self, wan):
+        cms = CongestionMitigationSystem(
+            wan, CMSConfig(coordinated=False),
+            predictor=self._predictor(target_links=(2, 3)))
+        state = AdvertisementState(wan)
+        actions = cms.handle_sample(0, state, entries_at(0, 0.9))
+        withdraw = next(a for a in actions if a.kind == "withdraw")
+        spilled_links = [l for l, _b in withdraw.predicted_spill]
+        assert 2 in spilled_links
+
+
+class TestReannouncement:
+    def test_reannounce_after_volume_drops(self, wan):
+        cms = CongestionMitigationSystem(wan, CMSConfig(coordinated=False))
+        state = AdvertisementState(wan)
+        cms.handle_sample(0, state, entries_at(0, 0.9))
+        assert cms.pending_reannouncements
+        # next sample: the prefix's demand collapsed
+        actions = cms.handle_sample(1, state, entries_at(1, 0.1))
+        assert any(a.kind == "reannounce" for a in actions)
+        assert state.is_available(0, 0)
+        assert not cms.pending_reannouncements
+
+    def test_no_reannounce_while_volume_high(self, wan):
+        cms = CongestionMitigationSystem(wan, CMSConfig(coordinated=False))
+        state = AdvertisementState(wan)
+        cms.handle_sample(0, state, entries_at(0, 0.9))
+        # demand persists (shifted to link 1)
+        actions = cms.handle_sample(1, state, entries_at(1, 0.82))
+        assert not any(a.kind == "reannounce" for a in actions)
+        assert not state.is_available(0, 0)
+
+
+class TestCoordinated:
+    def test_coordinated_plan_grows_until_safe(self, wan):
+        # history: traffic on link 0 primarily, link 1 secondary; links
+        # 2, 3 known with small mass — the planner should discover that
+        # withdrawing at 0 pushes to 1 (unsafe) and settle on {0, 1}
+        model = HistoricalModel(FEATURES_AP)
+        for i in range(4):
+            model.observe(ctx(100 + i), 0, 100.0)
+            model.observe(ctx(100 + i), 1, 10.0)
+            model.observe(ctx(100 + i), 2, 1.0)
+            model.observe(ctx(100 + i), 3, 1.0)
+        cms = CongestionMitigationSystem(
+            wan, CMSConfig(coordinated=True), predictor=model)
+        state = AdvertisementState(wan)
+        entries = entries_at(0, 0.9, prefix_id=0) + entries_at(
+            1, 0.5, prefix_id=1)
+        actions = cms.handle_sample(0, state, entries)
+        coordinated = [a for a in actions if a.kind == "withdraw-coordinated"]
+        assert coordinated
+        withdrawn_links = {a.link_id for a in coordinated}
+        assert 0 in withdrawn_links and 1 in withdrawn_links
+        for link in withdrawn_links:
+            assert not state.is_available(0, link)

@@ -1,0 +1,81 @@
+"""Tests for the utilization monitor."""
+
+import pytest
+
+from repro.cms import CongestionEvent, UtilizationMonitor, bytes_to_utilization
+
+
+GBPS_HOUR_BYTES = 1e9 / 8.0 * 3600.0  # bytes to fill a 1G link for an hour
+
+
+class TestUtilization:
+    def test_full_link(self):
+        assert bytes_to_utilization(GBPS_HOUR_BYTES, 1.0) == pytest.approx(1.0)
+
+    def test_scaling_with_capacity(self):
+        assert bytes_to_utilization(GBPS_HOUR_BYTES, 10.0) == pytest.approx(0.1)
+
+    def test_custom_period(self):
+        minute_bytes = 1e9 / 8.0 * 60.0
+        assert bytes_to_utilization(minute_bytes, 1.0,
+                                    period_seconds=60.0) == pytest.approx(1.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            bytes_to_utilization(1.0, 0.0)
+
+
+class TestMonitor:
+    def test_event_fires_over_threshold(self):
+        monitor = UtilizationMonitor({1: 1.0}, threshold=0.85)
+        events = monitor.observe(0, {1: GBPS_HOUR_BYTES * 0.9})
+        assert events == [CongestionEvent(1, 0, pytest.approx(0.9))]
+
+    def test_no_event_under_threshold(self):
+        monitor = UtilizationMonitor({1: 1.0}, threshold=0.85)
+        assert monitor.observe(0, {1: GBPS_HOUR_BYTES * 0.8}) == []
+
+    def test_sustain_requirement(self):
+        """The paper's 4-minute sustain window, with minute samples."""
+        monitor = UtilizationMonitor({1: 1.0}, threshold=0.85,
+                                     sustain_samples=4,
+                                     period_seconds=60.0)
+        minute = 1e9 / 8.0 * 60.0
+        hot = {1: minute * 0.9}
+        assert monitor.observe(0, hot) == []
+        assert monitor.observe(1, hot) == []
+        assert monitor.observe(2, hot) == []
+        events = monitor.observe(3, hot)
+        assert len(events) == 1
+
+    def test_streak_resets_on_calm_sample(self):
+        monitor = UtilizationMonitor({1: 1.0}, threshold=0.85,
+                                     sustain_samples=2)
+        hot = {1: GBPS_HOUR_BYTES * 0.9}
+        assert monitor.observe(0, hot) == []
+        assert monitor.observe(1, {1: 0.0}) == []
+        assert monitor.observe(2, hot) == []
+        assert len(monitor.observe(3, hot)) == 1
+
+    def test_missing_link_treated_as_zero(self):
+        monitor = UtilizationMonitor({1: 1.0, 2: 1.0}, sustain_samples=1)
+        events = monitor.observe(0, {1: GBPS_HOUR_BYTES})
+        assert [e.link_id for e in events] == [1]
+
+    def test_multiple_links_fire_together(self):
+        monitor = UtilizationMonitor({1: 1.0, 2: 1.0}, sustain_samples=1)
+        hot = {1: GBPS_HOUR_BYTES, 2: GBPS_HOUR_BYTES}
+        assert {e.link_id for e in monitor.observe(0, hot)} == {1, 2}
+
+    def test_reset(self):
+        monitor = UtilizationMonitor({1: 1.0}, sustain_samples=2)
+        hot = {1: GBPS_HOUR_BYTES * 0.9}
+        monitor.observe(0, hot)
+        monitor.reset(1)
+        assert monitor.observe(1, hot) == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            UtilizationMonitor({1: 1.0}, threshold=0.0)
+        with pytest.raises(ValueError):
+            UtilizationMonitor({1: 1.0}, sustain_samples=0)

@@ -1,0 +1,51 @@
+"""Tests for the model protocol defaults."""
+
+from typing import FrozenSet, List
+
+from repro.core import IngressModel, Prediction
+from repro.core.base import NO_LINKS
+from repro.pipeline import FlowContext
+
+
+class _Fixed(IngressModel):
+    """Minimal model returning a fixed ranking (for protocol tests)."""
+
+    name = "fixed"
+
+    def __init__(self, links):
+        self._links = links
+
+    def predict(self, context: FlowContext, k: int,
+                unavailable: FrozenSet[int] = NO_LINKS) -> List[Prediction]:
+        out = [Prediction(l, 1.0 / (i + 1))
+               for i, l in enumerate(self._links)
+               if l not in unavailable]
+        return out[:k]
+
+
+CTX = FlowContext(1, 2, 3, 4, 5)
+
+
+class TestDefaults:
+    def test_has_prediction_default_uses_predict(self):
+        assert _Fixed([1, 2]).has_prediction(CTX)
+        assert not _Fixed([]).has_prediction(CTX)
+
+    def test_has_prediction_respects_unavailable(self):
+        model = _Fixed([1])
+        assert not model.has_prediction(CTX, frozenset({1}))
+
+    def test_prediction_namedtuple_fields(self):
+        p = Prediction(7, 0.5)
+        assert p.link_id == 7
+        assert p.score == 0.5
+        link, score = p
+        assert (link, score) == (7, 0.5)
+
+    def test_abstract_instantiation_fails(self):
+        try:
+            IngressModel()
+        except TypeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("IngressModel should be abstract")

@@ -1,0 +1,87 @@
+"""Tests for sequential ensembles."""
+
+import pytest
+
+from repro.core import (
+    FEATURES_A,
+    FEATURES_AL,
+    FEATURES_AP,
+    HistoricalModel,
+    SequentialEnsemble,
+)
+from repro.pipeline import FlowContext
+
+
+def ctx(asn=1, prefix=10, loc=0, region=0, service=0):
+    return FlowContext(asn, prefix, loc, region, service)
+
+
+@pytest.fixture()
+def suite():
+    ap = HistoricalModel(FEATURES_AP)
+    al = HistoricalModel(FEATURES_AL)
+    a = HistoricalModel(FEATURES_A)
+    # prefix 10 known to all three; prefix 11 only at AL/A grain via
+    # pooling; AS 2 unknown everywhere
+    for model in (ap, al, a):
+        model.observe(ctx(prefix=10), 5, 100.0)
+        model.observe(ctx(prefix=10), 7, 50.0)
+    return ap, al, a
+
+
+class TestSequentialFallback:
+    def test_first_model_answers_when_it_can(self, suite):
+        ap, al, a = suite
+        ensemble = SequentialEnsemble([ap, al, a])
+        preds = ensemble.predict(ctx(prefix=10), 2)
+        assert preds == ap.predict(ctx(prefix=10), 2)
+        assert ensemble.answering_model(ctx(prefix=10)) == "Hist_AP"
+
+    def test_falls_back_on_unseen_tuple(self, suite):
+        ap, al, a = suite
+        ensemble = SequentialEnsemble([ap, al, a])
+        # new prefix from the same AS+loc: AP has nothing, AL pools
+        preds = ensemble.predict(ctx(prefix=11), 2)
+        assert preds
+        assert ensemble.answering_model(ctx(prefix=11)) == "Hist_AL"
+
+    def test_falls_through_to_last(self, suite):
+        ap, al, a = suite
+        # a only-A-can-answer flow: same AS+dest, different loc & prefix
+        flow = ctx(prefix=12, loc=9)
+        ensemble = SequentialEnsemble([ap, al, a])
+        assert ensemble.answering_model(flow) == "Hist_A"
+        assert ensemble.predict(flow, 1)
+
+    def test_no_answer_anywhere(self, suite):
+        ap, al, a = suite
+        ensemble = SequentialEnsemble([ap, al, a])
+        stranger = ctx(asn=2, prefix=99, loc=4, region=3, service=2)
+        assert ensemble.predict(stranger, 3) == []
+        assert ensemble.answering_model(stranger) is None
+
+    def test_fallback_when_all_links_unavailable_in_first(self, suite):
+        """§3.3.1: 'resort to model B if there is no prediction in A' —
+        including when A's only links are withdrawn."""
+        ap, al, a = suite
+        al.observe(ctx(prefix=10), 9, 10.0)  # AL knows an extra link
+        ensemble = SequentialEnsemble([ap, al, a])
+        unavailable = frozenset({5, 7})
+        preds = ensemble.predict(ctx(prefix=10), 2, unavailable)
+        assert [p.link_id for p in preds] == [9]
+
+
+class TestEnsembleAPI:
+    def test_name_composition(self, suite):
+        ap, al, a = suite
+        assert SequentialEnsemble([ap, al, a]).name == "Hist_AP/Hist_AL/Hist_A"
+        assert SequentialEnsemble([ap], name="solo").name == "solo"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialEnsemble([])
+
+    def test_size_is_sum(self, suite):
+        ap, al, a = suite
+        ensemble = SequentialEnsemble([ap, al, a])
+        assert ensemble.size() == ap.size() + al.size() + a.size()

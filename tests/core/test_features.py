@@ -1,0 +1,46 @@
+"""Tests for feature sets."""
+
+import pytest
+
+from repro.core import FEATURES_A, FEATURES_AL, FEATURES_AP, FeatureSet
+from repro.core.features import FEATURES_APL
+from repro.pipeline import FlowContext
+
+CTX = FlowContext(src_asn=64500, src_prefix=77, src_loc=3, dest_region=1,
+                  dest_service=2)
+
+
+class TestFeatureSets:
+    def test_a_key(self):
+        assert FEATURES_A.key(CTX) == (64500, 1, 2)
+
+    def test_ap_key(self):
+        assert FEATURES_AP.key(CTX) == (64500, 77, 1, 2)
+
+    def test_al_key(self):
+        assert FEATURES_AL.key(CTX) == (64500, 3, 1, 2)
+
+    def test_apl_key(self):
+        assert FEATURES_APL.key(CTX) == (64500, 77, 3, 1, 2)
+
+    def test_single_field_set_returns_tuple(self):
+        fs = FeatureSet("just-as", ("src_asn",))
+        assert fs.key(CTX) == (64500,)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSet("bogus", ("no_such_field",))
+
+    def test_apl_equivalent_to_ap_when_loc_function_of_prefix(self):
+        """The paper's observation: one location per /24 makes APL == AP
+        as a partition of flows."""
+        contexts = [
+            FlowContext(1, p, p % 5, 0, 0) for p in range(50)
+        ]
+        ap_partition = {}
+        apl_partition = {}
+        for ctx in contexts:
+            ap_partition.setdefault(FEATURES_AP.key(ctx), set()).add(ctx)
+            apl_partition.setdefault(FEATURES_APL.key(ctx), set()).add(ctx)
+        assert (sorted(map(sorted, ap_partition.values()))
+                == sorted(map(sorted, apl_partition.values())))

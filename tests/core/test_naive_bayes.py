@@ -1,0 +1,92 @@
+"""Tests for the Naive Bayes models (Appendix A)."""
+
+import pytest
+
+from repro.core import FEATURES_A, FEATURES_AL, NaiveBayesModel
+from repro.pipeline import FlowContext
+
+
+def ctx(asn=1, prefix=10, loc=0, region=0, service=0):
+    return FlowContext(asn, prefix, loc, region, service)
+
+
+class TestBasics:
+    def test_majority_link_wins(self):
+        model = NaiveBayesModel(FEATURES_A)
+        model.observe(ctx(), 5, 900.0)
+        model.observe(ctx(), 7, 100.0)
+        preds = model.predict(ctx(), 2)
+        assert preds[0].link_id == 5
+        assert preds[0].score > preds[1].score
+
+    def test_scores_normalised(self):
+        model = NaiveBayesModel(FEATURES_A)
+        model.observe(ctx(), 5, 900.0)
+        model.observe(ctx(), 7, 100.0)
+        preds = model.predict(ctx(), 2)
+        assert sum(p.score for p in preds) == pytest.approx(1.0)
+
+    def test_empty_model_no_prediction(self):
+        model = NaiveBayesModel(FEATURES_A)
+        assert model.predict(ctx(), 3) == []
+        assert not model.has_prediction(ctx())
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            NaiveBayesModel(FEATURES_A, alpha=0.0)
+
+    def test_default_name(self):
+        assert NaiveBayesModel(FEATURES_AL).name == "NB_AL"
+
+
+class TestTransferLearning:
+    def test_generalises_across_tuples(self):
+        """NB predicts for unseen tuples from per-feature conditionals —
+        the paper's reason for considering it despite lower accuracy."""
+        model = NaiveBayesModel(FEATURES_AL)
+        # AS 1 traffic from loc 0 to region 0 lands on link 5
+        model.observe(ctx(asn=1, loc=0, region=0), 5, 500.0)
+        # AS 2 traffic to region 1 lands on link 7
+        model.observe(ctx(asn=2, loc=1, region=1), 7, 500.0)
+        # unseen combination: AS 1 from loc 1 — still scores both links,
+        # favouring link 5 via the AS conditional
+        unseen = ctx(asn=1, loc=1, region=0)
+        preds = model.predict(unseen, 2)
+        assert preds
+        assert preds[0].link_id == 5
+
+    def test_fully_unknown_context_no_prediction(self):
+        model = NaiveBayesModel(FEATURES_A)
+        model.observe(ctx(asn=1), 5, 100.0)
+        totally_new = ctx(asn=99, region=42, service=17)
+        assert model.predict(totally_new, 3) == []
+
+
+class TestAvailabilityPrior:
+    def test_unavailable_masked(self):
+        model = NaiveBayesModel(FEATURES_A)
+        model.observe(ctx(), 5, 900.0)
+        model.observe(ctx(), 7, 100.0)
+        preds = model.predict(ctx(), 2, unavailable=frozenset({5}))
+        assert [p.link_id for p in preds] == [7]
+
+    def test_all_unavailable(self):
+        model = NaiveBayesModel(FEATURES_A)
+        model.observe(ctx(), 5, 100.0)
+        assert model.predict(ctx(), 2, unavailable=frozenset({5})) == []
+
+
+class TestWeighting:
+    def test_byte_weighting_dominates_counts(self):
+        model = NaiveBayesModel(FEATURES_A)
+        # many small observations on 5, one huge on 7
+        for _ in range(10):
+            model.observe(ctx(), 5, 1.0)
+        model.observe(ctx(), 7, 1e6)
+        assert model.predict(ctx(), 1)[0].link_id == 7
+
+    def test_size_reports_entries(self):
+        model = NaiveBayesModel(FEATURES_A)
+        model.observe(ctx(asn=1), 5, 1.0)
+        model.observe(ctx(asn=2), 7, 1.0)
+        assert model.size() > 0

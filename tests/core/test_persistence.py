@@ -1,0 +1,142 @@
+"""Tests for model persistence (JSON round-trips)."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    FEATURES_A,
+    FEATURES_AL,
+    FEATURES_AP,
+    GeoAugmentedModel,
+    HistoricalModel,
+    NaiveBayesModel,
+    OracleModel,
+    SequentialEnsemble,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.pipeline import FlowContext
+from repro.topology import (
+    CloudWAN,
+    DestPrefix,
+    MetroCatalog,
+    PeeringLink,
+    Region,
+)
+
+
+def ctx(prefix, asn=1, loc=0):
+    return FlowContext(asn, prefix, loc, 0, 0)
+
+
+@pytest.fixture()
+def wan():
+    metros = MetroCatalog()
+    links = [PeeringLink(i, 100, m, f"{m}-er1", 100.0)
+             for i, m in enumerate(("iad", "nyc", "atl"))]
+    return CloudWAN(8075, links, [Region("r", "iad")],
+                    [DestPrefix(0, "100.64.0.0/24", "r", "web")], metros)
+
+
+def trained_hist(feature_set=FEATURES_AP):
+    model = HistoricalModel(feature_set)
+    model.observe(ctx(1), 0, 100.0)
+    model.observe(ctx(1), 1, 30.0)
+    model.observe(ctx(2), 2, 50.0)
+    model.finalize()
+    return model
+
+
+def assert_same_predictions(a, b, contexts=(ctx(1), ctx(2), ctx(99))):
+    for context in contexts:
+        for unavailable in (frozenset(), frozenset({0})):
+            assert (a.predict(context, 3, unavailable)
+                    == b.predict(context, 3, unavailable))
+
+
+class TestHistoricalRoundtrip:
+    def test_roundtrip(self):
+        model = trained_hist()
+        clone = model_from_dict(model_to_dict(model))
+        assert clone.name == model.name
+        assert_same_predictions(model, clone)
+
+    def test_json_serialisable(self):
+        text = json.dumps(model_to_dict(trained_hist()))
+        clone = model_from_dict(json.loads(text))
+        assert_same_predictions(trained_hist(), clone)
+
+    def test_keep_top_preserved(self):
+        model = HistoricalModel(FEATURES_AP, keep_top=1)
+        model.observe(ctx(1), 0, 100.0)
+        model.observe(ctx(1), 1, 50.0)
+        model.finalize()
+        clone = model_from_dict(model_to_dict(model))
+        assert len(clone.predict(ctx(1), 5)) == 1
+
+
+class TestOracleRoundtrip:
+    def test_roundtrip_keeps_type(self):
+        oracle = OracleModel(FEATURES_A)
+        oracle.observe(ctx(1), 0, 10.0)
+        oracle.finalize()
+        clone = model_from_dict(model_to_dict(oracle))
+        assert isinstance(clone, OracleModel)
+        assert clone.name == "Oracle_A"
+
+
+class TestNaiveBayesRoundtrip:
+    def test_roundtrip(self):
+        model = NaiveBayesModel(FEATURES_AL)
+        model.observe(ctx(1, asn=1, loc=0), 0, 100.0)
+        model.observe(ctx(2, asn=2, loc=1), 1, 60.0)
+        model.finalize()
+        clone = model_from_dict(json.loads(json.dumps(model_to_dict(model))))
+        assert_same_predictions(model, clone,
+                                contexts=(ctx(1), ctx(2), ctx(3, asn=1)))
+
+
+class TestCompositeRoundtrip:
+    def test_ensemble_roundtrip(self):
+        ap = trained_hist(FEATURES_AP)
+        a = trained_hist(FEATURES_A)
+        ensemble = SequentialEnsemble([ap, a], name="Hist_AP/A")
+        clone = model_from_dict(model_to_dict(ensemble))
+        assert clone.name == "Hist_AP/A"
+        assert_same_predictions(ensemble, clone)
+
+    def test_geo_augmented_requires_wan(self, wan):
+        model = GeoAugmentedModel(trained_hist(FEATURES_AL), wan)
+        data = model_to_dict(model)
+        with pytest.raises(ValueError):
+            model_from_dict(data)
+        clone = model_from_dict(data, wan=wan)
+        assert_same_predictions(model, clone)
+
+
+class TestFileIO:
+    def test_save_and_load(self, tmp_path):
+        model = trained_hist()
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        clone = load_model(path)
+        assert_same_predictions(model, clone)
+
+    def test_version_check(self):
+        data = model_to_dict(trained_hist())
+        data["format"] = 99
+        with pytest.raises(ValueError):
+            model_from_dict(data)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            model_from_dict({"format": 1, "type": "martian"})
+
+    def test_unknown_feature_set_rejected(self):
+        data = model_to_dict(trained_hist())
+        data["features"] = "XYZ"
+        with pytest.raises(ValueError):
+            model_from_dict(data)

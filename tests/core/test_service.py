@@ -1,0 +1,108 @@
+"""Tests for the online prediction service (§4)."""
+
+import pytest
+
+from repro.core import FEATURES_AP
+from repro.core.service import ServiceConfig, TipsyService
+from repro.pipeline import AggRecord, FlowContext
+from repro.topology import (
+    CloudWAN,
+    DestPrefix,
+    MetroCatalog,
+    PeeringLink,
+    Region,
+)
+
+
+def rec(hour, link, prefix, bytes_=100.0):
+    return AggRecord(hour, link, 1, prefix, 0, 0, 0, bytes_)
+
+
+def ctx(prefix):
+    return FlowContext(1, prefix, 0, 0, 0)
+
+
+@pytest.fixture()
+def wan():
+    metros = MetroCatalog()
+    links = [PeeringLink(i, 100, m, f"{m}-er1", 100.0)
+             for i, m in enumerate(("iad", "nyc", "atl"))]
+    return CloudWAN(8075, links, [Region("r", "iad")],
+                    [DestPrefix(0, "100.64.0.0/24", "r", "web")], metros)
+
+
+@pytest.fixture()
+def service(wan):
+    return TipsyService(wan, ServiceConfig(training_window_days=3))
+
+
+class TestIngestionAndRetraining:
+    def test_not_ready_before_first_full_day(self, service):
+        service.ingest_hour(0, [rec(0, 0, 1)])
+        assert not service.ready
+
+    def test_retrains_on_day_boundary(self, service):
+        for hour in range(24):
+            service.ingest_hour(hour, [rec(hour, 0, 1)])
+        before = service.retrain_count
+        service.ingest_hour(24, [rec(24, 0, 1)])
+        assert service.retrain_count == before + 1
+        assert service.ready
+        assert service.trained_days == (0,)
+
+    def test_rolling_window_evicts(self, service):
+        for day in range(6):
+            service.ingest_hour(day * 24, [rec(day * 24, 0, 1)])
+        # window is 3 days: old days gone from training
+        assert min(service.trained_days) >= 2
+
+    def test_out_of_order_rejected(self, service):
+        service.ingest_hour(30, [])
+        with pytest.raises(ValueError):
+            service.ingest_hour(2, [])
+
+    def test_current_day_excluded_from_training(self, service):
+        service.ingest_hour(0, [rec(0, 0, 1)])
+        service.ingest_hour(24, [rec(24, 1, 1)])  # today: link 1
+        # trained only on day 0: predicts link 0, not link 1
+        preds = service.predict(ctx(1))
+        assert [p.link_id for p in preds] == [0]
+
+
+class TestQueries:
+    def _train(self, service):
+        service.ingest_hour(0, [rec(0, 0, 1, 100.0), rec(0, 1, 1, 30.0),
+                                rec(0, 0, 2, 50.0)])
+        service.ingest_hour(24, [])
+
+    def test_predict(self, service):
+        self._train(service)
+        preds = service.predict(ctx(1))
+        assert preds[0].link_id == 0
+
+    def test_predict_with_prior_uses_withdrawal_model(self, service):
+        self._train(service)
+        preds = service.predict(ctx(1), unavailable=frozenset({0}))
+        assert preds
+        assert preds[0].link_id != 0
+
+    def test_what_if_spill(self, service):
+        self._train(service)
+        spill = service.what_if([(ctx(1), 1000.0), (ctx(2), 500.0)],
+                                withdrawn=frozenset({0}))
+        assert -1 not in spill or spill[-1] < 1500.0
+        assert sum(spill.values()) == pytest.approx(1500.0)
+        assert 0 not in spill
+
+    def test_what_if_unplaceable(self, wan):
+        service = TipsyService(wan)
+        service.ingest_hour(0, [rec(0, 0, 9)])
+        service.ingest_hour(24, [])
+        # withdraw every link the flow (and its peer) could use
+        spill = service.what_if([(ctx(9), 100.0)],
+                                withdrawn=frozenset(wan.link_ids))
+        assert spill == {-1: 100.0}
+
+    def test_query_before_training_raises(self, service):
+        with pytest.raises(RuntimeError):
+            service.predict(ctx(1))

@@ -1,0 +1,77 @@
+"""Tests for the counts accumulator and model fitting."""
+
+import pytest
+
+from repro.core import (
+    FEATURES_A,
+    FEATURES_AP,
+    CountsAccumulator,
+    HistoricalModel,
+)
+from repro.pipeline import AggRecord, FlowContext
+
+
+def ctx(prefix, asn=1):
+    return FlowContext(asn, prefix, 0, 0, 0)
+
+
+def rec(hour, link, prefix, bytes_, asn=1):
+    return AggRecord(hour, link, asn, prefix, 0, 0, 0, bytes_)
+
+
+class TestAccumulation:
+    def test_consume_hour(self):
+        acc = CountsAccumulator()
+        acc.consume_hour(0, [rec(0, 5, 1, 10.0), rec(0, 5, 1, 5.0)])
+        acc.consume_hour(1, [rec(1, 5, 1, 5.0)])
+        assert acc.counts[(ctx(1), 5)] == 20.0
+        assert acc.total_bytes() == 20.0
+        assert len(acc) == 1
+
+    def test_add_ignores_nonpositive(self):
+        acc = CountsAccumulator()
+        acc.add(ctx(1), 5, 0.0)
+        acc.add(ctx(1), 5, -3.0)
+        assert len(acc) == 0
+
+    def test_merge(self):
+        a = CountsAccumulator()
+        b = CountsAccumulator()
+        a.add(ctx(1), 5, 10.0)
+        b.add(ctx(1), 5, 2.0)
+        b.add(ctx(2), 7, 1.0)
+        a.merge(b)
+        assert a.counts[(ctx(1), 5)] == 12.0
+        assert a.counts[(ctx(2), 7)] == 1.0
+
+    def test_fit_trains_and_finalizes(self):
+        acc = CountsAccumulator()
+        acc.add(ctx(1), 5, 10.0)
+        acc.add(ctx(1), 7, 30.0)
+        ap = HistoricalModel(FEATURES_AP)
+        a = HistoricalModel(FEATURES_A)
+        acc.fit([ap, a])
+        assert ap.predict(ctx(1), 1)[0].link_id == 7
+        assert a.predict(ctx(99), 1)[0].link_id == 7  # pooled at A grain
+
+    def test_actuals_reshape(self):
+        acc = CountsAccumulator()
+        acc.add(ctx(1), 5, 10.0)
+        acc.add(ctx(1), 7, 2.0)
+        acc.add(ctx(2), 5, 1.0)
+        actuals = acc.actuals()
+        assert actuals[ctx(1)] == {5: 10.0, 7: 2.0}
+        assert actuals[ctx(2)] == {5: 1.0}
+
+    def test_top1_links(self):
+        acc = CountsAccumulator()
+        acc.add(ctx(1), 5, 10.0)
+        acc.add(ctx(1), 7, 30.0)
+        acc.add(ctx(2), 9, 1.0)
+        assert acc.top1_links() == {ctx(1): 7, ctx(2): 9}
+
+    def test_top1_tie_break_lowest_link(self):
+        acc = CountsAccumulator()
+        acc.add(ctx(1), 9, 10.0)
+        acc.add(ctx(1), 5, 10.0)
+        assert acc.top1_links()[ctx(1)] == 5

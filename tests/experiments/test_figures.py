@@ -1,0 +1,132 @@
+"""Tests for figure data generation."""
+
+import pytest
+
+from repro.experiments import figures
+
+
+class TestCdfPoints:
+    def test_simple(self):
+        points = figures.cdf_points([3.0, 1.0, 2.0])
+        assert points == [(1.0, pytest.approx(1 / 3)),
+                          (2.0, pytest.approx(2 / 3)),
+                          (3.0, pytest.approx(1.0))]
+
+    def test_weighted(self):
+        points = figures.cdf_points([1.0, 2.0], weights=[1.0, 3.0])
+        assert points[0][1] == pytest.approx(0.25)
+        assert points[-1][1] == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert figures.cdf_points([]) == []
+
+
+class TestFig2(object):
+    def test_distribution_shape(self, small_scenario):
+        dist = figures.fig2_bytes_by_distance(small_scenario, 0, 24)
+        assert dist
+        assert sum(dist.values()) == pytest.approx(1.0)
+        # paper: most bytes from nearby ASes, ~98% within 3 hops
+        close = sum(v for d, v in dist.items() if d <= 3)
+        assert close > 0.9
+        assert dist.get(1, 0.0) > 0.35
+
+
+class TestFig3:
+    def test_spread_structure(self, small_scenario):
+        groups = figures.fig3_link_spread(small_scenario, 0, 24)
+        assert 1 in groups
+        for points in groups.values():
+            spreads = [s for s, _c in points]
+            assert all(s >= 1 for s in spreads)
+            cums = [c for _s, c in points]
+            assert cums == sorted(cums)
+
+    def test_one_hop_sprays_more(self, small_scenario):
+        """Paper Figure 3's surprise: closer ASes spray over more links."""
+        groups = figures.fig3_link_spread(small_scenario, 0, 72)
+
+        def weighted_median(points):
+            for spread, cum in points:
+                if cum >= 0.5:
+                    return spread
+            return points[-1][0]
+
+        if 1 in groups and 3 in groups:
+            assert weighted_median(groups[1]) >= weighted_median(groups[3])
+
+
+class TestFig5:
+    def test_oracle_curves(self, small_result):
+        curves = figures.fig5_oracle_accuracy_vs_k(
+            small_result.overall_actuals, ks=(1, 2, 3, 10, 1000))
+        assert set(curves) == {"Oracle_A", "Oracle_AP", "Oracle_AL"}
+        for points in curves.values():
+            accs = [a for _k, a in points]
+            assert accs == sorted(accs)          # monotone in k
+            assert accs[-1] == pytest.approx(1.0)  # unrestricted = 100%
+
+    def test_top1_meaningfully_below_one(self, small_result):
+        curves = figures.fig5_oracle_accuracy_vs_k(
+            small_result.overall_actuals, ks=(1,))
+        assert curves["Oracle_AP"][0][1] < 0.98
+
+
+class TestFig6And7:
+    def test_first_outage_curve(self):
+        points = figures.fig6_first_outage_curve(list(range(200)),
+                                                 horizon_days=365, seed=1)
+        fracs = [f for _d, f in points]
+        assert fracs == sorted(fracs)
+        # paper: ~80% of links fail at least once in the year
+        assert 0.55 < fracs[-1] < 0.95
+
+    def test_last_outage_curve(self):
+        points = figures.fig7_last_outage_curve(list(range(200)),
+                                                horizon_days=365, seed=1)
+        fracs = [f for _d, f in points]
+        assert fracs == sorted(fracs)
+        # paper: about a third of links failed within the last ~50 days
+        at_50 = dict(points)[50]
+        assert 0.1 < at_50 < 0.7
+
+
+class TestTukeySummary:
+    def test_quartiles(self):
+        summary = figures.tukey_summary(list(range(1, 101)))
+        assert summary.q1 == pytest.approx(25.75)
+        assert summary.median == pytest.approx(50.5)
+        assert summary.q3 == pytest.approx(75.25)
+        assert summary.outliers == ()
+
+    def test_whiskers_clip_outliers(self):
+        values = [10.0] * 20 + [11.0] * 20 + [12.0] * 20 + [100.0]
+        summary = figures.tukey_summary(values)
+        assert summary.whisker_high <= 12.0
+        assert summary.outliers == (100.0,)
+
+    def test_single_value(self):
+        summary = figures.tukey_summary([5.0])
+        assert summary.median == 5.0
+        assert summary.whisker_low == summary.whisker_high == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            figures.tukey_summary([])
+
+
+class TestAppendixSweeps:
+    def test_fig9_window_sweep(self, small_scenario):
+        points = figures.fig9_training_window_sweep(
+            small_scenario, train_lengths=(2, 6), test_starts=(8, 10),
+            test_days=2)
+        assert len(points) == 2
+        for point in points:
+            assert 0.0 <= point.min <= point.mean <= point.max <= 1.0
+
+    def test_fig11_sensitivity(self, small_scenario):
+        out = figures.fig11_outage_sensitivity(small_scenario, n_windows=3,
+                                               train_days=6)
+        assert out["overall"]
+        for values in out.values():
+            assert all(0.0 <= v <= 1.0 for v in values)

@@ -1,0 +1,81 @@
+"""Tests for the §2 incident replay."""
+
+import pytest
+
+from repro.bgp import AdvertisementState
+from repro.experiments import build_incident_world, replay_incident
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_incident_world(seed=0)
+
+
+@pytest.fixture(scope="module")
+def blind(world):
+    return replay_incident(world, with_tipsy=False)
+
+
+@pytest.fixture(scope="module")
+def guided(world):
+    return replay_incident(world, with_tipsy=True)
+
+
+class TestWorld:
+    def test_link_layout(self, world):
+        assert world.wan.link(world.i1).capacity_gbps == 400.0
+        assert world.wan.link(world.i2).capacity_gbps == 400.0
+        assert world.wan.link(world.i3).capacity_gbps == 100.0
+        assert world.wan.link(world.i4).capacity_gbps == 100.0
+        assert world.wan.link(world.i1).metro == world.wan.link(world.i2).metro
+        assert world.wan.link(world.i3).metro == world.wan.link(world.i4).metro
+
+    def test_pre_incident_traffic_on_l1_pair(self, world):
+        state = AdvertisementState(world.wan)
+        entries = world.entries_for_hour(12, state)
+        links = {e.link_id for e in entries}
+        assert links == {world.i1, world.i2}
+
+    def test_surge_raises_demand(self, world):
+        before = world.demand_gbps(world.surge_start_hour - 1)
+        during = world.demand_gbps(world.surge_start_hour)
+        assert during > before + world.surge_gbps * 0.9
+
+
+class TestBlindCascade:
+    def test_cascade_order_matches_paper(self, blind, world):
+        withdraws = [a for a in blind.actions if a.kind == "withdraw"]
+        sequence = [a.link_id for a in withdraws[:4]]
+        assert sequence[0] == world.i1
+        assert sequence[1] == world.i2
+        assert set(sequence[2:4]) == {world.i3, world.i4}
+
+    def test_three_rounds(self, blind):
+        assert blind.withdrawal_rounds == 3
+
+    def test_i3_i4_overload_hard(self, blind, world):
+        assert blind.max_utilization[world.i3] > 1.0
+        assert blind.max_utilization[world.i4] > 1.0
+
+    def test_eventual_reannouncement(self, blind):
+        assert any(a.kind == "reannounce" for a in blind.actions)
+
+
+class TestGuidedMitigation:
+    def test_single_coordinated_round(self, guided):
+        assert guided.withdrawal_rounds == 1
+        kinds = {a.kind for a in guided.actions}
+        assert "withdraw-coordinated" in kinds
+
+    def test_coordinated_set_is_all_four(self, guided, world):
+        coordinated = {a.link_id for a in guided.actions
+                       if a.kind == "withdraw-coordinated"}
+        assert coordinated == {world.i1, world.i2, world.i3, world.i4}
+
+    def test_no_cascade_overloads(self, guided, world):
+        # I2..I4 never exceed the congestion threshold under guidance
+        for link in (world.i2, world.i3, world.i4):
+            assert guided.max_utilization.get(link, 0.0) <= 0.9
+
+    def test_fewer_congested_hours_than_blind(self, guided, blind):
+        assert guided.congested_link_hours < blind.congested_link_hours

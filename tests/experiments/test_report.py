@@ -1,0 +1,50 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments import ReportOptions, WindowSpec, build_report
+
+
+@pytest.fixture(scope="module")
+def report(small_scenario):
+    options = ReportOptions(
+        window=WindowSpec(train_start_day=0, train_days=8, test_days=3))
+    return build_report(small_scenario, options)
+
+
+class TestReport:
+    def test_has_all_sections(self, report):
+        for section in ("# TIPSY reproduction report", "## World",
+                        "## Headline statistics",
+                        "## Table 4", "## Table 5", "## Table 6",
+                        "## Table 7", "## Figure 5", "## Figure 2"):
+            assert section in report
+
+    def test_tables_include_paper_columns(self, report):
+        assert "paper Top 3 %" in report
+        assert "Δ top-3" in report
+
+    def test_all_models_reported(self, report):
+        for model in ("Hist_AP", "Hist_AL+G", "Hist_AP/AL/A", "Oracle_AP"):
+            assert model in report
+
+    def test_markdown_tables_well_formed(self, report):
+        for line in report.splitlines():
+            if line.startswith("|") and not line.startswith("|-"):
+                # consistent cell separators (no missing pipes)
+                assert line.endswith("|"), line
+
+    def test_figures_can_be_disabled(self, small_scenario):
+        options = ReportOptions(
+            window=WindowSpec(train_start_day=0, train_days=8, test_days=3),
+            include_figures=False)
+        text = build_report(small_scenario, options)
+        assert "## Figure 5" not in text
+        assert "## Table 4" in text
+
+    def test_naive_bayes_opt_in(self, small_scenario):
+        options = ReportOptions(
+            window=WindowSpec(train_start_day=0, train_days=4, test_days=2),
+            include_naive_bayes=True, include_figures=False)
+        text = build_report(small_scenario, options)
+        assert "NB_AL" in text

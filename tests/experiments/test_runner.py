@@ -1,0 +1,99 @@
+"""Tests for the evaluation runner (the §5 methodology)."""
+
+import pytest
+
+from repro.experiments import EvaluationRunner, WindowSpec
+
+
+class TestWindowSpec:
+    def test_hours(self):
+        w = WindowSpec(train_start_day=2, train_days=10, test_days=3)
+        assert w.train_hours == (48, 288)
+        assert w.test_hours == (288, 360)
+
+
+class TestEvaluationResult:
+    def test_blocks_have_all_models(self, small_result):
+        expected = {"Oracle_A", "Oracle_AP", "Oracle_AL", "Hist_A",
+                    "Hist_AP", "Hist_AL", "Hist_AL+G", "Hist_AP/AL/A",
+                    "Hist_AL/AP/A"}
+        assert expected <= set(small_result.overall.rows)
+
+    def test_accuracies_in_unit_interval(self, small_result):
+        for block in (small_result.overall, small_result.outages_all,
+                      small_result.outages_seen,
+                      small_result.outages_unseen):
+            for per_k in block.rows.values():
+                for acc in per_k.values():
+                    assert 0.0 <= acc <= 1.0
+
+    def test_accuracy_monotone_in_k(self, small_result):
+        for per_k in small_result.overall.rows.values():
+            assert per_k[1] <= per_k[2] <= per_k[3]
+
+    def test_oracle_dominates_matching_hist(self, small_result):
+        rows = small_result.overall.rows
+        for fs in ("A", "AP", "AL"):
+            for k in (1, 2, 3):
+                assert rows[f"Oracle_{fs}"][k] >= rows[f"Hist_{fs}"][k] - 1e-9
+
+    def test_finer_oracles_beat_coarser(self, small_result):
+        rows = small_result.overall.rows
+        assert rows["Oracle_AP"][3] >= rows["Oracle_A"][3]
+
+    def test_overall_accuracy_is_high(self, small_result):
+        """Headline of paper Table 4: AP/AL models above ~90% at k=3."""
+        rows = small_result.overall.rows
+        assert rows["Hist_AP"][3] > 0.9
+        assert rows["Hist_AP/AL/A"][3] > 0.9
+
+    def test_outage_accuracy_lower_than_overall(self, small_result):
+        """Paper Tables 4 vs 5: withdrawals are the hard case."""
+        if small_result.outages_all.total_bytes == 0:
+            pytest.skip("no outage-affected bytes in this window")
+        overall = small_result.overall.rows["Hist_AP"][1]
+        outage = small_result.outages_all.rows["Hist_AP"][1]
+        assert outage < overall
+
+    def test_stats_consistent(self, small_result):
+        stats = small_result.stats
+        assert stats["outage_bytes"] == pytest.approx(
+            stats["seen_bytes"] + stats["unseen_bytes"])
+        assert 0.0 <= stats["unseen_fraction"] <= 1.0
+        assert stats["total_bytes"] > 0
+
+    def test_overall_actuals_populated(self, small_result):
+        assert len(small_result.overall_actuals) > 100
+
+    def test_best_model_helper(self, small_result):
+        best = small_result.overall.best_model(3)
+        assert not best.startswith("Oracle")
+
+
+class TestRunnerMechanics:
+    def test_window_must_fit_horizon(self, small_scenario):
+        runner = EvaluationRunner(small_scenario)
+        with pytest.raises(ValueError):
+            runner.run(WindowSpec(0, 21, 7))  # horizon is 14 days
+
+    def test_collect_window_cached(self, small_scenario):
+        runner = EvaluationRunner(small_scenario)
+        a = runner.collect_window(0, 24)
+        b = runner.collect_window(0, 24)
+        assert a is b
+
+    def test_naive_bayes_opt_in(self, small_scenario):
+        runner = EvaluationRunner(small_scenario)
+        result = runner.run(WindowSpec(0, 4, 2), include_naive_bayes=True)
+        assert "NB_A" in result.overall.rows
+        assert "NB_AL" in result.overall.rows
+        assert "Hist_AL/NB_AL" in result.overall.rows
+
+    def test_run_staleness_shape(self, small_scenario):
+        runner = EvaluationRunner(small_scenario)
+        out = runner.run_staleness(train_start_day=0, train_days=8,
+                                   max_offset_days=3)
+        assert set(out) == {0, 1, 2}
+        for rows in out.values():
+            assert "Hist_AP/AL/A" in rows
+            assert set(rows["Hist_AP/AL/A"]) == {1, 2, 3}

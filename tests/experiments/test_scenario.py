@@ -1,0 +1,116 @@
+"""Tests for scenario assembly and streaming."""
+
+import numpy as np
+import pytest
+
+from repro.bgp import AdvertisementState
+from repro.experiments import Scenario, ScenarioParams
+
+
+class TestAssembly:
+    def test_components_consistent(self, small_scenario):
+        sc = small_scenario
+        assert sc.wan.metros is sc.metros
+        assert len(sc.flow_contexts) == len(sc.traffic)
+        # every flow's context matches its spec through the encoders
+        for flow, context in zip(sc.traffic.flows[:50], sc.flow_contexts[:50]):
+            assert context.src_asn == flow.src_asn
+            assert context.src_prefix == flow.src_prefix_id
+            region = sc.encoders.region.decode(context.dest_region)
+            assert region == flow.dest_region
+
+    def test_deterministic_build(self):
+        a = Scenario(ScenarioParams.small(seed=5, horizon_days=7))
+        b = Scenario(ScenarioParams.small(seed=5, horizon_days=7))
+        assert a.wan.summary() == b.wan.summary()
+        assert a.outage_schedule == b.outage_schedule
+        assert [f.base_rate_mbps for f in a.traffic.flows] == [
+            f.base_rate_mbps for f in b.traffic.flows]
+
+    def test_horizon_propagates_to_traffic(self, small_scenario):
+        assert (small_scenario.params.traffic.horizon_days
+                == small_scenario.params.horizon_days)
+
+
+class TestStreaming:
+    def test_columns_aligned(self, small_scenario):
+        cols = next(iter(small_scenario.stream(0, 1)))
+        n = len(cols.flow_rows)
+        assert len(cols.link_ids) == n
+        assert len(cols.true_bytes) == n
+        assert len(cols.sampled_bytes) == n
+
+    def test_stream_deterministic(self, small_scenario):
+        a = [c.sampled_bytes.sum() for c in small_scenario.stream(0, 6)]
+        b = [c.sampled_bytes.sum() for c in small_scenario.stream(0, 6)]
+        assert a == b
+
+    def test_window_bounds_validated(self, small_scenario):
+        with pytest.raises(ValueError):
+            list(small_scenario.stream(0, small_scenario.horizon_hours + 1))
+        with pytest.raises(ValueError):
+            list(small_scenario.stream(-1, 1))
+
+    def test_outage_links_carry_nothing(self, small_scenario):
+        sc = small_scenario
+        outage = sc.outage_schedule[0]
+        hour = outage.start_hour
+        for cols in sc.stream(hour, hour + 1):
+            on_link = cols.true_bytes[cols.link_ids == outage.link_id]
+            assert on_link.sum() == 0.0
+
+    def test_state_at_matches_schedule(self, small_scenario):
+        sc = small_scenario
+        outage = sc.outage_schedule[0]
+        state = sc.state_at(outage.start_hour)
+        assert outage.link_id in state.link_outages
+        state_after = sc.state_at(outage.end_hour)
+        active_after = sc.scheduled_down_at(outage.end_hour)
+        assert (outage.link_id in state_after.link_outages) == (
+            outage.link_id in active_after)
+
+    def test_caller_state_withdrawal_respected(self, small_scenario):
+        sc = small_scenario
+        base = next(iter(sc.stream(0, 1)))
+        # find a busy link and withdraw its top destination prefix there
+        link_totals = np.bincount(base.link_ids, weights=base.true_bytes)
+        hot_link = int(np.argmax(link_totals))
+        state = AdvertisementState(sc.wan)
+        for prefix in sc.wan.dest_prefixes:
+            state.withdraw(prefix.prefix_id, hot_link)
+        cols = next(iter(sc.stream(0, 1, state=state)))
+        assert cols.true_bytes[cols.link_ids == hot_link].sum() == 0.0
+
+
+class TestRecordViews:
+    def test_ipfix_records_roundtrip(self, small_scenario):
+        sc = small_scenario
+        cols = next(iter(sc.stream(0, 1)))
+        records = sc.ipfix_records_for(cols)
+        assert sum(r.bytes for r in records) == pytest.approx(
+            cols.sampled_bytes.sum())
+        for record in records[:20]:
+            assert record.hour == 0
+            assert sc.wan.has_link(record.link_id)
+
+    def test_agg_records_merge_contexts(self, small_scenario):
+        sc = small_scenario
+        cols = next(iter(sc.stream(0, 1)))
+        aggs = sc.agg_records_for(cols)
+        keys = [(a.context, a.link_id) for a in aggs]
+        assert len(keys) == len(set(keys))
+        assert sum(a.bytes for a in aggs) == pytest.approx(
+            cols.sampled_bytes.sum())
+
+    def test_traffic_entries_view(self, small_scenario):
+        sc = small_scenario
+        cols = next(iter(sc.stream(0, 1)))
+        entries = sc.traffic_entries_for(cols)
+        assert sum(e.bytes for e in entries) == pytest.approx(
+            cols.sampled_bytes.sum())
+
+    def test_risk_entries_view(self, small_scenario):
+        sc = small_scenario
+        cols = next(iter(sc.stream(0, 1)))
+        entries = sc.risk_entries_for(cols)
+        assert all(b > 0 for _l, _c, b in entries)

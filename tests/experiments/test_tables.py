@@ -1,0 +1,63 @@
+"""Tests for table row formatting."""
+
+from repro.cms import RiskFinding
+from repro.experiments import tables
+
+
+class TestAccuracyRows:
+    def test_paper_order_and_values(self, small_result):
+        rows = tables.table4_overall(small_result)
+        names = [r.model for r in rows]
+        assert names == [n for n in tables.PAPER_MODEL_ORDER
+                         if n in small_result.overall.rows]
+        for row in rows:
+            assert 0.0 <= row.top1 <= row.top2 <= row.top3 <= 1.0
+
+    def test_all_table_builders_work(self, small_result):
+        for builder in (tables.table4_overall, tables.table5_outages_all,
+                        tables.table6_outages_seen,
+                        tables.table7_outages_unseen,
+                        tables.table9_nb_overall,
+                        tables.table10_nb_outages):
+            rows = builder(small_result)
+            assert isinstance(rows, list)
+
+    def test_formatted_row_alignment(self, small_result):
+        rows = tables.table4_overall(small_result)
+        line = rows[0].formatted()
+        assert rows[0].model in line
+        assert "%" not in line  # numbers only; header carries units
+
+    def test_format_block(self, small_result):
+        rows = tables.table4_overall(small_result)
+        block = tables.format_block("Table 4", rows,
+                                    tables.ACCURACY_HEADER)
+        assert block.startswith("== Table 4 ==")
+        assert len(block.splitlines()) == 2 + len(rows)
+
+
+class TestRiskRows:
+    def test_risk_row_rendering(self, small_scenario):
+        wan = small_scenario.wan
+        link = wan.links[0]
+        affecting = wan.links[1]
+        finding = RiskFinding(
+            link_id=link.link_id, peer_asn=link.peer_asn,
+            capacity_gbps=link.capacity_gbps, typical_high_hours=1,
+            predicted_extra_high_hours=7,
+            affecting_link_id=affecting.link_id,
+            affecting_peer_asn=affecting.peer_asn,
+            affecting_capacity_gbps=affecting.capacity_gbps)
+        rows = tables.risk_rows([finding], wan)
+        assert len(rows) == 1
+        line = rows[0].formatted()
+        assert link.router in line
+        assert f"AS{link.peer_asn}" in line
+
+    def test_limit(self, small_scenario):
+        wan = small_scenario.wan
+        link = wan.links[0]
+        finding = RiskFinding(link.link_id, link.peer_asn,
+                              link.capacity_gbps, 0, 1, link.link_id,
+                              link.peer_asn, link.capacity_gbps)
+        assert len(tables.risk_rows([finding] * 5, wan, limit=2)) == 2

@@ -1,0 +1,70 @@
+"""Cross-component consistency checks.
+
+The same physical fact is computed through different paths in different
+modules; these tests pin them to each other.
+"""
+
+import numpy as np
+import pytest
+
+
+class TestDistanceConsistency:
+    def test_bmp_and_simulator_agree_on_as_distance(self, small_scenario):
+        """BMP inference climbs provider chains from the origin; the
+        simulator's routing table BFS descends customer cones from the
+        peers.  Both are shortest valley-free distances and must agree
+        wherever both are defined."""
+        sc = small_scenario
+        for asn in sc.graph.asns:
+            bmp_d = sc.bmp.as_distance(asn)
+            sim_d = sc.simulator.as_distance(asn)
+            assert bmp_d == sim_d, f"AS{asn}: BMP {bmp_d} vs sim {sim_d}"
+
+    def test_direct_peers_distance_one(self, small_scenario):
+        sc = small_scenario
+        for peer in sc.wan.peer_asns:
+            if peer in sc.graph:
+                assert sc.simulator.as_distance(peer) == 1
+
+
+class TestVolumeConservation:
+    def test_true_bytes_conserve_generated_volumes(self, small_scenario):
+        """Everything generated lands somewhere (or is counted lost):
+        routed true bytes never exceed generated volumes, and routed
+        fractions per flow sum to 1 when a route exists."""
+        sc = small_scenario
+        cols = next(iter(sc.stream(3, 4)))
+        vols = sc.traffic.volumes_for_hour(3)
+        routed = np.zeros(len(vols))
+        np.add.at(routed, cols.flow_rows, cols.true_bytes)
+        # per-flow routed bytes equal the generated volume (shares sum
+        # to 1) or zero (no route / inactive)
+        for i, (generated, got) in enumerate(zip(vols, routed)):
+            if got > 0:
+                assert got == pytest.approx(generated, rel=1e-9)
+
+    def test_most_traffic_is_routable(self, small_scenario):
+        sc = small_scenario
+        cols = next(iter(sc.stream(3, 4)))
+        vols = sc.traffic.volumes_for_hour(3)
+        assert cols.true_bytes.sum() > 0.95 * vols.sum()
+
+
+class TestStateMutationMidStream:
+    def test_cms_style_mutation_changes_next_hour(self, small_scenario):
+        """Mutating the shared state between iterations (what the CMS
+        does) must affect the very next hour's routing."""
+        from repro.bgp import AdvertisementState
+
+        sc = small_scenario
+        state = AdvertisementState(sc.wan)
+        stream = sc.stream(0, 3, state=state, apply_outages=False)
+        first = next(stream)
+        link_totals = np.bincount(first.link_ids, weights=first.true_bytes,
+                                  minlength=len(sc.wan.links))
+        hot_link = int(np.argmax(link_totals))
+        for prefix in sc.wan.dest_prefixes:
+            state.withdraw(prefix.prefix_id, hot_link)
+        second = next(stream)
+        on_hot = second.true_bytes[second.link_ids == hot_link].sum()
+        assert on_hot == 0.0

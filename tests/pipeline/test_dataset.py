@@ -1,0 +1,59 @@
+"""Tests for streaming dataset plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import AggRecord, LinkByteTracker, fanout
+
+
+def rec(hour, link, bytes_):
+    return AggRecord(hour, link, 100, 5, 0, 0, 0, bytes_)
+
+
+class TestLinkByteTracker:
+    def test_consume_hour(self):
+        tracker = LinkByteTracker([10, 11], n_hours=4)
+        tracker.consume_hour(1, [rec(1, 10, 5.0), rec(1, 10, 3.0),
+                                 rec(1, 11, 2.0)])
+        assert tracker.bytes_for(10)[1] == 8.0
+        assert tracker.bytes_for(11)[1] == 2.0
+        assert tracker.bytes_for(10)[0] == 0.0
+
+    def test_unknown_link_ignored(self):
+        tracker = LinkByteTracker([10], n_hours=2)
+        tracker.consume_hour(0, [rec(0, 99, 5.0)])
+        assert tracker.matrix.sum() == 0.0
+
+    def test_add_bulk(self):
+        tracker = LinkByteTracker([10, 11], n_hours=2)
+        tracker.add_bulk(0, np.array([10, 11, 10]),
+                         np.array([1.0, 2.0, 3.0]))
+        assert tracker.bytes_for(10)[0] == 4.0
+        assert tracker.bytes_for(11)[0] == 2.0
+
+    def test_utilization(self):
+        tracker = LinkByteTracker([10], n_hours=1)
+        capacity_gbps = 1.0
+        full_hour_bytes = capacity_gbps * 1e9 / 8.0 * 3600.0
+        tracker.consume_hour(0, [rec(0, 10, full_hour_bytes / 2)])
+        assert tracker.utilization(10, capacity_gbps)[0] == pytest.approx(0.5)
+
+    def test_row_index(self):
+        tracker = LinkByteTracker([7, 3], n_hours=1)
+        assert tracker.row_index(7) == 0
+        assert tracker.row_index(3) == 1
+
+
+class TestFanout:
+    def test_all_consumers_fed(self):
+        calls = []
+
+        class Probe:
+            def __init__(self, name):
+                self.name = name
+
+            def consume_hour(self, hour, records):
+                calls.append((self.name, hour, len(records)))
+
+        fanout(3, [rec(3, 10, 1.0)], [Probe("a"), Probe("b")])
+        assert calls == [("a", 3, 1), ("b", 3, 1)]

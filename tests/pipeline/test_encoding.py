@@ -1,0 +1,60 @@
+"""Tests for ordinal encoding."""
+
+import pytest
+
+from repro.pipeline import EncoderSet, OrdinalEncoder
+
+
+class TestOrdinalEncoder:
+    def test_first_seen_order(self):
+        enc = OrdinalEncoder()
+        assert enc.encode("sea") == 0
+        assert enc.encode("lon") == 1
+        assert enc.encode("sea") == 0
+
+    def test_decode_roundtrip(self):
+        enc = OrdinalEncoder()
+        for value in ("a", "b", "c"):
+            assert enc.decode(enc.encode(value)) == value
+
+    def test_decode_unknown_raises(self):
+        enc = OrdinalEncoder()
+        with pytest.raises(IndexError):
+            enc.decode(0)
+        enc.encode("x")
+        with pytest.raises(IndexError):
+            enc.decode(5)
+        with pytest.raises(IndexError):
+            enc.decode(-1)
+
+    def test_encode_if_known(self):
+        enc = OrdinalEncoder()
+        assert enc.encode_if_known("x") is None
+        enc.encode("x")
+        assert enc.encode_if_known("x") == 0
+
+    def test_len_and_contains(self):
+        enc = OrdinalEncoder()
+        enc.encode("a")
+        enc.encode("b")
+        assert len(enc) == 2
+        assert "a" in enc
+        assert "z" not in enc
+
+    def test_values(self):
+        enc = OrdinalEncoder()
+        enc.encode("a")
+        enc.encode("b")
+        assert enc.values() == ("a", "b")
+
+
+class TestEncoderSet:
+    def test_sizes(self):
+        encoders = EncoderSet()
+        encoders.location.encode("sea")
+        encoders.region.encode("sea-region")
+        encoders.region.encode("lon-region")
+        sizes = encoders.sizes()
+        assert sizes["source_location"] == 1
+        assert sizes["dest_region"] == 2
+        assert sizes["dest_service"] == 0

@@ -1,0 +1,122 @@
+"""Tests for outage scheduling and inference."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    Outage,
+    OutageInference,
+    OutageParams,
+    first_outage_days,
+    last_outage_days_before,
+    schedule_outages,
+)
+
+
+class TestOutage:
+    def test_duration_and_activity(self):
+        outage = Outage(3, 10, 14)
+        assert outage.duration_hours == 4
+        assert outage.active_at(10)
+        assert outage.active_at(13)
+        assert not outage.active_at(14)
+        assert not outage.active_at(9)
+
+
+class TestScheduler:
+    def test_deterministic(self):
+        links = list(range(50))
+        a = schedule_outages(links, 24 * 60, seed=3)
+        b = schedule_outages(links, 24 * 60, seed=3)
+        assert a == b
+
+    def test_no_overlap_per_link(self):
+        outages = schedule_outages(list(range(40)), 24 * 120,
+                                   OutageParams(daily_hazard=0.1), seed=1)
+        by_link = {}
+        for outage in outages:
+            by_link.setdefault(outage.link_id, []).append(outage)
+        for link_outages in by_link.values():
+            link_outages.sort(key=lambda o: o.start_hour)
+            for a, b in zip(link_outages, link_outages[1:]):
+                assert a.end_hour <= b.start_hour
+
+    def test_within_horizon(self):
+        horizon = 24 * 30
+        for outage in schedule_outages(list(range(40)), horizon, seed=2):
+            assert 0 <= outage.start_hour < outage.end_hour <= horizon
+
+    def test_year_long_coverage_matches_paper(self):
+        """~80% of links see at least one outage per year (Figure 6)."""
+        links = list(range(400))
+        params = OutageParams(daily_hazard=0.0044, flaky_fraction=0.01)
+        outages = schedule_outages(links, 24 * 365, params, seed=5)
+        links_hit = {o.link_id for o in outages}
+        assert 0.6 < len(links_hit) / len(links) < 0.95
+
+    def test_flaky_links_fail_repeatedly(self):
+        params = OutageParams(daily_hazard=0.001, flaky_fraction=0.2,
+                              flaky_daily_hazard=0.5)
+        outages = schedule_outages(list(range(100)), 24 * 60, params, seed=7)
+        counts = {}
+        for outage in outages:
+            counts[outage.link_id] = counts.get(outage.link_id, 0) + 1
+        assert max(counts.values()) >= 3
+
+
+class TestInference:
+    def _matrix(self):
+        # 3 links x 10 hours; link 1 down hours 4-6; link 2 never carries
+        m = np.ones((3, 10))
+        m[1, 4:7] = 0.0
+        m[2, :] = 0.0
+        return m
+
+    def test_paper_rule(self):
+        inf = OutageInference([10, 11, 12], self._matrix())
+        assert not inf.is_down(0, 5)
+        assert inf.is_down(1, 5)
+        # a link that never carried traffic is not "down", just unused
+        assert not inf.is_down(2, 5)
+
+    def test_down_links_at(self):
+        inf = OutageInference([10, 11, 12], self._matrix())
+        assert inf.down_links_at(5) == frozenset({11})
+        assert inf.down_links_at(0) == frozenset()
+
+    def test_intervals(self):
+        inf = OutageInference([10, 11, 12], self._matrix())
+        intervals = inf.intervals()
+        assert intervals == [Outage(11, 4, 7)]
+
+    def test_duration_filter(self):
+        inf = OutageInference([10, 11, 12], self._matrix())
+        assert inf.intervals(min_hours=4) == []
+        assert inf.intervals(min_hours=1, max_hours=2) == []
+        assert inf.intervals(min_hours=3, max_hours=3) == [Outage(11, 4, 7)]
+
+    def test_links_with_outage_window(self):
+        inf = OutageInference([10, 11, 12], self._matrix())
+        assert inf.links_with_outage(0, 10) == frozenset({11})
+        assert inf.links_with_outage(0, 4) == frozenset()
+        assert inf.links_with_outage(6, 8) == frozenset({11})
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            OutageInference([1, 2], np.ones((3, 5)))
+
+
+class TestFigureHelpers:
+    def test_first_outage_days(self):
+        outages = [Outage(1, 30, 40), Outage(1, 200, 210), Outage(2, 100, 110)]
+        firsts = first_outage_days(outages)
+        assert firsts == {1: 1, 2: 4}
+
+    def test_last_outage_days_before(self):
+        outages = [Outage(1, 24 * 3, 24 * 3 + 5), Outage(1, 24 * 10, 24 * 10 + 5)]
+        lasts = last_outage_days_before(outages, reference_day=20)
+        assert lasts == {1: 10}
+
+    def test_last_outage_ignores_future(self):
+        outages = [Outage(1, 24 * 30, 24 * 30 + 2)]
+        assert last_outage_days_before(outages, reference_day=10) == {}

@@ -1,0 +1,75 @@
+"""Property-based tests for outage scheduling and inference."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.pipeline import OutageInference, OutageParams, schedule_outages
+
+
+class TestScheduleProperties:
+    @given(st.integers(min_value=1, max_value=40),
+           st.integers(min_value=1, max_value=90),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_invariants(self, n_links, days, seed):
+        outages = schedule_outages(list(range(n_links)), days * 24,
+                                   OutageParams(daily_hazard=0.1),
+                                   seed=seed)
+        by_link = {}
+        for outage in outages:
+            assert 0 <= outage.start_hour < outage.end_hour <= days * 24
+            by_link.setdefault(outage.link_id, []).append(outage)
+        for link_outages in by_link.values():
+            link_outages.sort(key=lambda o: o.start_hour)
+            for a, b in zip(link_outages, link_outages[1:]):
+                assert a.end_hour <= b.start_hour
+
+
+matrix_strategy = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 6), st.integers(1, 48)),
+    elements=st.floats(min_value=0.0, max_value=1e9),
+)
+
+
+class TestInferenceProperties:
+    @given(matrix_strategy)
+    @settings(max_examples=60)
+    def test_intervals_cover_down_hours_exactly(self, matrix):
+        link_ids = list(range(matrix.shape[0]))
+        inference = OutageInference(link_ids, matrix)
+        covered = {
+            (outage.link_id, hour)
+            for outage in inference.intervals()
+            for hour in range(outage.start_hour, outage.end_hour)
+        }
+        expected = set()
+        for i, link in enumerate(link_ids):
+            if matrix[i].sum() <= 0.0:
+                continue  # never-active links are not in outage
+            for hour in range(matrix.shape[1]):
+                if matrix[i, hour] <= 0.0:
+                    expected.add((link, hour))
+        assert covered == expected
+
+    @given(matrix_strategy)
+    @settings(max_examples=40)
+    def test_duration_filters_partition(self, matrix):
+        inference = OutageInference(list(range(matrix.shape[0])), matrix)
+        all_intervals = set(inference.intervals())
+        short = set(inference.intervals(min_hours=1, max_hours=3))
+        long = set(inference.intervals(min_hours=4))
+        assert short | long == all_intervals
+        assert not (short & long)
+
+    @given(matrix_strategy)
+    @settings(max_examples=40)
+    def test_down_links_consistent_with_is_down(self, matrix):
+        link_ids = list(range(matrix.shape[0]))
+        inference = OutageInference(link_ids, matrix)
+        for hour in range(0, matrix.shape[1], 7):
+            down = inference.down_links_at(hour)
+            for i, link in enumerate(link_ids):
+                assert (link in down) == inference.is_down(i, hour)

@@ -1,0 +1,87 @@
+"""Property-based round-trip tests for model persistence."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FEATURES_A,
+    FEATURES_AP,
+    HistoricalModel,
+    NaiveBayesModel,
+    SequentialEnsemble,
+    model_from_dict,
+    model_to_dict,
+)
+from repro.pipeline import FlowContext
+
+observations = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=9),
+        st.floats(min_value=0.001, max_value=1e9),
+    ),
+    min_size=1, max_size=40,
+)
+
+queries = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=1),
+    ),
+    min_size=1, max_size=10,
+)
+
+
+def train(model, obs):
+    for asn, prefix, loc, region, service, link, bytes_ in obs:
+        model.observe(FlowContext(asn, prefix, loc, region, service),
+                      link, bytes_)
+    model.finalize()
+    return model
+
+
+def same_predictions(a, b, query_tuples):
+    for q in query_tuples:
+        context = FlowContext(*q)
+        for k in (1, 3):
+            if a.predict(context, k) != b.predict(context, k):
+                return False
+    return True
+
+
+class TestRoundtripProperties:
+    @given(observations, queries)
+    @settings(max_examples=40)
+    def test_historical_roundtrip(self, obs, qs):
+        model = train(HistoricalModel(FEATURES_AP), obs)
+        clone = model_from_dict(
+            json.loads(json.dumps(model_to_dict(model))))
+        assert same_predictions(model, clone, qs)
+
+    @given(observations, queries)
+    @settings(max_examples=25)
+    def test_naive_bayes_roundtrip(self, obs, qs):
+        model = train(NaiveBayesModel(FEATURES_A), obs)
+        clone = model_from_dict(
+            json.loads(json.dumps(model_to_dict(model))))
+        assert same_predictions(model, clone, qs)
+
+    @given(observations, queries)
+    @settings(max_examples=25)
+    def test_ensemble_roundtrip(self, obs, qs):
+        ensemble = SequentialEnsemble([
+            train(HistoricalModel(FEATURES_AP), obs),
+            train(HistoricalModel(FEATURES_A), obs),
+        ])
+        clone = model_from_dict(
+            json.loads(json.dumps(model_to_dict(ensemble))))
+        assert same_predictions(ensemble, clone, qs)

@@ -1,0 +1,103 @@
+"""Property-based tests on ingress-simulator invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp import AdvertisementState, IngressSimulator
+from repro.experiments import Scenario, ScenarioParams
+
+
+@pytest.fixture(scope="module")
+def world():
+    scenario = Scenario(ScenarioParams.small(seed=13, horizon_days=7))
+    return scenario
+
+
+flow_indices = st.integers(min_value=0, max_value=899)
+link_subsets = st.lists(st.integers(min_value=0, max_value=140),
+                        max_size=6, unique=True)
+days = st.one_of(st.none(), st.integers(min_value=0, max_value=6))
+
+
+class TestResolutionInvariants:
+    @given(flow_indices, days)
+    @settings(max_examples=60, deadline=None)
+    def test_shares_well_formed(self, world, idx, day):
+        scenario = world
+        flow = scenario.traffic.flows[idx % len(scenario.traffic.flows)]
+        state = AdvertisementState(scenario.wan)
+        shares = scenario.simulator.resolve_shares(
+            flow.src_asn, flow.src_metro, flow.src_prefix_id,
+            flow.dest_prefix_id, state, day)
+        if shares:
+            total = sum(f for _l, f in shares)
+            assert total == pytest.approx(1.0)
+            links = [l for l, _f in shares]
+            assert len(links) == len(set(links))
+            assert all(scenario.wan.has_link(l) for l in links)
+            fracs = [f for _l, f in shares]
+            assert fracs == sorted(fracs, reverse=True)
+
+    @given(flow_indices, link_subsets)
+    @settings(max_examples=60, deadline=None)
+    def test_removed_links_never_appear(self, world, idx, removed_links):
+        scenario = world
+        flow = scenario.traffic.flows[idx % len(scenario.traffic.flows)]
+        state = AdvertisementState(scenario.wan)
+        valid = [l for l in removed_links if scenario.wan.has_link(l)]
+        for link in valid:
+            state.set_link_down(link)
+        shares = scenario.simulator.resolve_shares(
+            flow.src_asn, flow.src_metro, flow.src_prefix_id,
+            flow.dest_prefix_id, state)
+        assert not ({l for l, _f in shares} & set(valid))
+
+    @given(flow_indices, link_subsets)
+    @settings(max_examples=40, deadline=None)
+    def test_outage_recovery_restores_baseline(self, world, idx,
+                                               removed_links):
+        """Link up-down-up returns exactly the original shares — the
+        determinism that makes seen outages learnable."""
+        scenario = world
+        flow = scenario.traffic.flows[idx % len(scenario.traffic.flows)]
+        state = AdvertisementState(scenario.wan)
+        base = scenario.simulator.resolve_shares(
+            flow.src_asn, flow.src_metro, flow.src_prefix_id,
+            flow.dest_prefix_id, state)
+        valid = [l for l in removed_links if scenario.wan.has_link(l)]
+        for link in valid:
+            state.set_link_down(link)
+        scenario.simulator.resolve_shares(
+            flow.src_asn, flow.src_metro, flow.src_prefix_id,
+            flow.dest_prefix_id, state)
+        for link in valid:
+            state.set_link_up(link)
+        after = scenario.simulator.resolve_shares(
+            flow.src_asn, flow.src_metro, flow.src_prefix_id,
+            flow.dest_prefix_id, state)
+        assert after == base
+
+    @given(flow_indices)
+    @settings(max_examples=30, deadline=None)
+    def test_shortcut_equals_full_resolution(self, world, idx):
+        """The affected-flow shortcut must be semantically invisible:
+        resolving with a removal present equals a fresh full resolve."""
+        scenario = world
+        flow = scenario.traffic.flows[idx % len(scenario.traffic.flows)]
+        state = AdvertisementState(scenario.wan)
+        base = scenario.simulator.resolve_shares(
+            flow.src_asn, flow.src_metro, flow.src_prefix_id,
+            flow.dest_prefix_id, state)
+        if not base:
+            return
+        primary = base[0][0]
+        state.set_link_down(primary)
+        removed = state.removal_key(flow.dest_prefix_id)
+        via_shortcut = scenario.simulator.resolve_shares(
+            flow.src_asn, flow.src_metro, flow.src_prefix_id,
+            flow.dest_prefix_id, state)
+        direct = scenario.simulator._resolve(
+            flow.src_asn, flow.src_metro, flow.src_prefix_id,
+            flow.dest_prefix_id, removed, False, False)
+        assert via_shortcut == direct

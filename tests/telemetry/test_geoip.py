@@ -1,0 +1,71 @@
+"""Tests for the synthetic Geo-IP database."""
+
+import pytest
+
+from repro.telemetry import GeoIPDatabase
+from repro.topology import MetroCatalog, TopologyParams, generate_as_graph
+from repro.traffic import PrefixUniverse
+
+
+@pytest.fixture(scope="module")
+def world():
+    metros = MetroCatalog()
+    graph = generate_as_graph(metros, TopologyParams(
+        n_tier1=3, n_transit=6, n_access=10, n_cdn=2, n_stub=30), seed=2)
+    return metros, PrefixUniverse(graph, seed=2)
+
+
+class TestGeoIP:
+    def test_covers_all_prefixes(self, world):
+        metros, universe = world
+        db = GeoIPDatabase(universe, metros, seed=2)
+        assert len(db) == len(universe)
+        for prefix in universe:
+            assert db.lookup(prefix.prefix_id) in metros
+
+    def test_unknown_prefix_none(self, world):
+        metros, universe = world
+        db = GeoIPDatabase(universe, metros, seed=2)
+        assert db.lookup(10**9) is None
+
+    def test_error_rate_zero_is_exact(self, world):
+        metros, universe = world
+        db = GeoIPDatabase(universe, metros, error_rate=0.0, seed=2)
+        assert db.error_count(universe) == 0
+
+    def test_error_rate_applied(self, world):
+        metros, universe = world
+        db = GeoIPDatabase(universe, metros, error_rate=0.2, seed=2)
+        errors = db.error_count(universe)
+        assert 0.1 < errors / len(universe) < 0.3
+
+    def test_errors_prefer_same_country(self, world):
+        metros, universe = world
+        db = GeoIPDatabase(universe, metros, error_rate=0.5, seed=2)
+        same_country = 0
+        wrong = 0
+        for prefix in universe:
+            looked = db.lookup(prefix.prefix_id)
+            if looked != prefix.metro:
+                wrong += 1
+                truth_country = metros.get(prefix.metro).country
+                if metros.get(looked).country == truth_country:
+                    same_country += 1
+        assert wrong > 0
+        # metros in single-metro countries can't stay in-country; among
+        # multi-metro-country sources the bias should be visible
+        multi = [p for p in universe
+                 if len(metros.in_country(metros.get(p.metro).country)) > 1]
+        assert same_country > 0 or not multi
+
+    def test_invalid_error_rate(self, world):
+        metros, universe = world
+        with pytest.raises(ValueError):
+            GeoIPDatabase(universe, metros, error_rate=1.0)
+
+    def test_deterministic(self, world):
+        metros, universe = world
+        a = GeoIPDatabase(universe, metros, error_rate=0.1, seed=7)
+        b = GeoIPDatabase(universe, metros, error_rate=0.1, seed=7)
+        for prefix in universe:
+            assert a.lookup(prefix.prefix_id) == b.lookup(prefix.prefix_id)

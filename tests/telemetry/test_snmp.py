@@ -1,0 +1,102 @@
+"""Tests for the SNMP poller and its unreliability model."""
+
+import pytest
+
+from repro.pipeline import Outage
+from repro.telemetry import (
+    SnmpParams,
+    SnmpPoller,
+    compare_inference,
+    infer_outages_from_snmp,
+)
+
+
+def perfect_params():
+    return SnmpParams(missed_poll_rate=0.0, stale_agent_fraction=0.0,
+                      false_down_rate=0.0)
+
+
+class TestPolling:
+    def test_perfect_poller_sees_truth(self):
+        truth = [Outage(1, 10, 14)]
+        poller = SnmpPoller([1, 2], truth, perfect_params(), seed=1)
+        readings = poller.poll_window(0, 24)
+        for reading in readings:
+            expected_up = not (reading.link_id == 1
+                               and 10 <= reading.hour < 14)
+            assert reading.oper_up == expected_up
+
+    def test_poll_cadence(self):
+        poller = SnmpPoller([1], [], perfect_params(), seed=1)
+        readings = poller.poll_window(0, 1)
+        assert len(readings) == 4  # 15-minute polls
+
+    def test_missed_polls_reduce_readings(self):
+        params = SnmpParams(missed_poll_rate=0.5, stale_agent_fraction=0.0,
+                            false_down_rate=0.0)
+        poller = SnmpPoller([1], [], params, seed=1)
+        readings = poller.poll_window(0, 48)
+        assert len(readings) < 48 * 4 * 0.8
+
+    def test_false_downs_appear(self):
+        params = SnmpParams(missed_poll_rate=0.0, stale_agent_fraction=0.0,
+                            false_down_rate=0.2)
+        poller = SnmpPoller([1], [], params, seed=1)
+        readings = poller.poll_window(0, 48)
+        assert any(not r.oper_up for r in readings)
+
+    def test_stale_agents_lag_transitions(self):
+        params = SnmpParams(missed_poll_rate=0.0, stale_agent_fraction=1.0,
+                            stale_polls=4, false_down_rate=0.0)
+        truth = [Outage(1, 10, 20)]
+        poller = SnmpPoller([1], truth, params, seed=1)
+        readings = [r for r in poller.poll_window(9, 12)
+                    if r.link_id == 1]
+        # at hour 10.0 the link is down, but the stale agent still says up
+        at_transition = [r for r in readings if 10.0 <= r.hour < 10.5]
+        assert any(r.oper_up for r in at_transition)
+
+
+class TestInference:
+    def test_infer_simple_interval(self):
+        truth = [Outage(1, 10, 14)]
+        poller = SnmpPoller([1], truth, perfect_params(), seed=1)
+        inferred = infer_outages_from_snmp(poller.poll_window(0, 24))
+        assert len(inferred) == 1
+        outage = inferred[0]
+        assert outage.link_id == 1
+        assert outage.start_hour == 10
+        assert outage.end_hour == 14
+
+    def test_flap_suppression(self):
+        # one spurious down reading: shorter than min_hours, dropped
+        params = SnmpParams(missed_poll_rate=0.0, stale_agent_fraction=0.0,
+                            false_down_rate=0.05)
+        poller = SnmpPoller([1], [], params, seed=3)
+        inferred = infer_outages_from_snmp(poller.poll_window(0, 72),
+                                           min_hours=1.0)
+        assert inferred == []
+
+
+class TestComparison:
+    def test_perfect_inference_scores_perfectly(self):
+        truth = [Outage(1, 10, 14), Outage(2, 5, 7)]
+        quality = compare_inference(truth, truth, 0, 24)
+        assert quality.recall == 1.0
+        assert quality.precision == 1.0
+
+    def test_partial_detection(self):
+        truth = [Outage(1, 10, 14)]
+        inferred = [Outage(1, 10, 12), Outage(2, 0, 2)]
+        quality = compare_inference(truth, inferred, 0, 24)
+        assert quality.recall == pytest.approx(0.5)
+        assert quality.precision == pytest.approx(0.5)
+
+    def test_snmp_less_reliable_than_truth(self):
+        """The paper's rationale: realistic SNMP misses outage hours."""
+        truth = [Outage(l, 10 + l, 16 + l) for l in range(20)]
+        params = SnmpParams(stale_agent_fraction=0.5, stale_polls=6)
+        poller = SnmpPoller(list(range(20)), truth, params, seed=5)
+        inferred = infer_outages_from_snmp(poller.poll_window(0, 48))
+        quality = compare_inference(truth, inferred, 0, 48)
+        assert quality.recall < 1.0

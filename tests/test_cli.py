@@ -1,0 +1,52 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_incident_command(self, capsys):
+        assert main(["incident"]) == 0
+        out = capsys.readouterr().out
+        assert "blind" in out
+        assert "TIPSY-guided" in out
+        assert "withdraw-coordinated" in out
+
+    def test_evaluate_command_small(self, capsys):
+        assert main(["evaluate", "--size", "small", "--seed", "7",
+                     "--train-days", "4", "--test-days", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "Hist_AP/AL/A" in out
+
+    def test_risk_command_small(self, capsys):
+        assert main(["risk", "--size", "small", "--seed", "11",
+                     "--train-days", "4", "--test-days", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Links at risk" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_evaluate_compare_flag(self, capsys):
+        assert main(["evaluate", "--size", "small", "--seed", "7",
+                     "--train-days", "4", "--test-days", "2",
+                     "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "measured vs paper" in out
+        assert "delta" in out
+
+    def test_report_command(self, tmp_path, capsys):
+        output = tmp_path / "r.md"
+        assert main(["report", "--size", "small", "--seed", "7",
+                     "--train-days", "4", "--test-days", "2",
+                     "-o", str(output)]) == 0
+        text = output.read_text()
+        assert "# TIPSY reproduction report" in text
+        assert "Table 7" in text

@@ -1,0 +1,86 @@
+"""Tests for Gao-Rexford relationships and valley-free rules."""
+
+import pytest
+
+from repro.topology import ASLink, LOCAL_PREF, Relationship, exportable, is_valley_free
+
+
+class TestRelationship:
+    def test_invert_roundtrip(self):
+        for rel in Relationship:
+            assert rel.invert().invert() is rel
+
+    def test_invert_customer_provider(self):
+        assert Relationship.CUSTOMER.invert() is Relationship.PROVIDER
+        assert Relationship.PROVIDER.invert() is Relationship.CUSTOMER
+        assert Relationship.PEER.invert() is Relationship.PEER
+
+    def test_local_pref_ordering(self):
+        assert (LOCAL_PREF[Relationship.CUSTOMER]
+                > LOCAL_PREF[Relationship.PEER]
+                > LOCAL_PREF[Relationship.PROVIDER])
+
+
+class TestExportable:
+    def test_customer_routes_export_everywhere(self):
+        for to in Relationship:
+            assert exportable(Relationship.CUSTOMER, to)
+
+    def test_peer_routes_only_to_customers(self):
+        assert exportable(Relationship.PEER, Relationship.CUSTOMER)
+        assert not exportable(Relationship.PEER, Relationship.PEER)
+        assert not exportable(Relationship.PEER, Relationship.PROVIDER)
+
+    def test_provider_routes_only_to_customers(self):
+        assert exportable(Relationship.PROVIDER, Relationship.CUSTOMER)
+        assert not exportable(Relationship.PROVIDER, Relationship.PEER)
+        assert not exportable(Relationship.PROVIDER, Relationship.PROVIDER)
+
+
+class TestValleyFree:
+    def test_empty_path(self):
+        assert is_valley_free(())
+
+    def test_all_up(self):
+        path = (Relationship.PROVIDER, Relationship.PROVIDER)
+        assert is_valley_free(path)
+
+    def test_up_peer_down(self):
+        path = (Relationship.PROVIDER, Relationship.PEER,
+                Relationship.CUSTOMER)
+        assert is_valley_free(path)
+
+    def test_down_then_up_is_valley(self):
+        path = (Relationship.CUSTOMER, Relationship.PROVIDER)
+        assert not is_valley_free(path)
+
+    def test_two_peer_steps_invalid(self):
+        path = (Relationship.PEER, Relationship.PEER)
+        assert not is_valley_free(path)
+
+    def test_peer_then_up_invalid(self):
+        path = (Relationship.PEER, Relationship.PROVIDER)
+        assert not is_valley_free(path)
+
+    def test_all_down(self):
+        path = (Relationship.CUSTOMER,) * 4
+        assert is_valley_free(path)
+
+
+class TestASLink:
+    def test_relationship_of_both_sides(self):
+        link = ASLink(1, 2, Relationship.CUSTOMER)  # 2 is 1's customer
+        assert link.relationship_of(1) is Relationship.CUSTOMER
+        assert link.relationship_of(2) is Relationship.PROVIDER
+
+    def test_other(self):
+        link = ASLink(1, 2, Relationship.PEER)
+        assert link.other(1) == 2
+        assert link.other(2) == 1
+
+    def test_non_endpoint_raises(self):
+        link = ASLink(1, 2, Relationship.PEER)
+        with pytest.raises(ValueError):
+            link.relationship_of(3)
+        with pytest.raises(ValueError):
+            link.other(3)

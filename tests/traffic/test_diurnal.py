@@ -1,0 +1,71 @@
+"""Tests for diurnal/weekly traffic modulation."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import (
+    diurnal_factor,
+    diurnal_factors_vec,
+    local_hour,
+    tz_offset_hours,
+    weekday,
+)
+
+
+class TestTimezone:
+    def test_greenwich(self):
+        assert tz_offset_hours(0.0) == 0
+
+    def test_seattle_region(self):
+        assert tz_offset_hours(-122.33) == -8
+
+    def test_tokyo_region(self):
+        assert tz_offset_hours(139.69) == 9
+
+    def test_local_hour_wraps(self):
+        assert local_hour(0, -8) == 16
+        assert local_hour(23, 9) == 8
+
+    def test_weekday_cycles_from_monday(self):
+        assert weekday(0) == 0
+        assert weekday(24 * 5) == 5
+        assert weekday(24 * 7) == 0
+
+
+class TestDiurnalFactor:
+    def test_peak_at_peak_hour(self):
+        peak = diurnal_factor(14.0, 14.0, 0.5, False, 1.0)
+        trough = diurnal_factor(2.0, 14.0, 0.5, False, 1.0)
+        assert peak == pytest.approx(1.5)
+        assert trough == pytest.approx(0.5)
+
+    def test_weekend_factor_applies(self):
+        weekdayf = diurnal_factor(14.0, 14.0, 0.3, False, 0.5)
+        weekendf = diurnal_factor(14.0, 14.0, 0.3, True, 0.5)
+        assert weekendf == pytest.approx(weekdayf * 0.5)
+
+    def test_floor(self):
+        f = diurnal_factor(2.0, 14.0, 0.99, True, 0.01, floor=0.05)
+        assert f == 0.05
+
+    def test_zero_amplitude_flat(self):
+        for hour in range(24):
+            assert diurnal_factor(hour, 14.0, 0.0, False, 1.0) == 1.0
+
+
+class TestVectorised:
+    def test_matches_scalar(self):
+        hours = np.arange(24, dtype=float)
+        peaks = np.full(24, 14.0)
+        amps = np.full(24, 0.4)
+        wkf = np.full(24, 0.8)
+        vec = diurnal_factors_vec(hours, peaks, amps, True, wkf)
+        for h in range(24):
+            assert vec[h] == pytest.approx(
+                diurnal_factor(float(h), 14.0, 0.4, True, 0.8))
+
+    def test_mean_near_one_on_weekdays(self):
+        hours = np.arange(24, dtype=float)
+        vec = diurnal_factors_vec(hours, np.full(24, 14.0),
+                                  np.full(24, 0.5), False, np.ones(24))
+        assert np.mean(vec) == pytest.approx(1.0, abs=0.02)

@@ -1,0 +1,45 @@
+"""Tests for workload profiles."""
+
+from repro.topology import DEFAULT_SERVICES
+from repro.traffic import (
+    BATCH,
+    CONSUMER,
+    ENTERPRISE,
+    FLAT,
+    PROFILES,
+    SERVICE_PROFILES,
+    profile_for,
+)
+
+
+class TestProfiles:
+    def test_every_default_service_mapped(self):
+        for service in DEFAULT_SERVICES:
+            assert service in SERVICE_PROFILES
+
+    def test_profiles_are_the_canonical_four(self):
+        assert set(SERVICE_PROFILES.values()) <= set(PROFILES)
+
+    def test_enterprise_peaks_business_hours(self):
+        assert 9 <= ENTERPRISE.peak_hour <= 18
+        assert ENTERPRISE.weekend_factor < 1.0
+
+    def test_consumer_peaks_evening(self):
+        assert CONSUMER.peak_hour >= 18
+        assert CONSUMER.weekend_factor >= 1.0
+
+    def test_batch_is_nocturnal_and_heavy(self):
+        assert BATCH.peak_hour < 6
+        assert BATCH.rate_scale_mbps > ENTERPRISE.rate_scale_mbps
+
+    def test_flat_is_flat(self):
+        assert FLAT.amplitude < 0.2
+
+    def test_unknown_service_falls_back(self):
+        assert profile_for("does-not-exist") is ENTERPRISE
+
+    def test_amplitudes_valid(self):
+        for profile in PROFILES:
+            assert 0.0 <= profile.amplitude < 1.0
+            assert profile.rate_sigma > 0
+            assert profile.rate_scale_mbps > 0
