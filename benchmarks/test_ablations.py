@@ -18,7 +18,7 @@ from repro.experiments import (
     figures,
 )
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 WINDOW = WindowSpec(train_start_day=0, train_days=14, test_days=7)
 

@@ -11,7 +11,7 @@ import random
 from repro.cms import DepeeringAnalyzer, GroupRiskAnalyzer
 from repro.core import IngressAnomalyDetector
 
-from conftest import PAPER_WINDOW, print_block
+from repro.experiments.benchlib import PAPER_WINDOW, print_block
 
 
 def _models(paper_runner, paper_train_counts):

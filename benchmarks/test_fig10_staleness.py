@@ -6,7 +6,7 @@ by day — the justification for daily retraining and a 7-day test window.
 
 import numpy as np
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 MODEL = "Hist_AL/AP/A"
 

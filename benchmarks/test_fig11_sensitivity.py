@@ -5,11 +5,10 @@ high, while outage-affected accuracy — seen and especially unseen —
 varies widely depending on what failed in each window.
 """
 
-import numpy as np
 
 from repro.experiments import figures
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 
 def test_fig11_outage_sensitivity(medium_scenario, benchmark):

@@ -6,7 +6,7 @@ from ASes at most 3 hops away — the "flattening Internet".
 
 from repro.experiments import figures
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 
 def test_fig2_bytes_by_distance(paper_scenario, benchmark):

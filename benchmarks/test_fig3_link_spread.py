@@ -8,7 +8,7 @@ connectivity policies.
 
 from repro.experiments import figures
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 
 def weighted_median(points):

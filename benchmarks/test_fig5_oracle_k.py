@@ -8,7 +8,7 @@ paper's headline operating point.
 
 from repro.experiments import figures
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 KS = (1, 2, 3, 5, 10, 25, 100, 100000)
 

@@ -6,7 +6,7 @@ year and covers ~80% of active peering links by year end.
 
 from repro.experiments import figures
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 
 def test_fig6_first_outage_curve(paper_scenario, benchmark):

@@ -7,7 +7,7 @@ even spread further back.
 
 from repro.experiments import figures
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 
 def test_fig7_last_outage_curve(paper_scenario, benchmark):

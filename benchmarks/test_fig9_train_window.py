@@ -6,7 +6,7 @@ days and flattens by ~21 days, which is why the paper trains on 3 weeks.
 
 from repro.experiments import figures
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 TRAIN_LENGTHS = (3, 7, 14, 21)
 TEST_STARTS = (21, 24)

@@ -9,7 +9,7 @@ I3/I4 in advance, enabling one simultaneous withdrawal.
 
 from repro.experiments import build_incident_world, replay_incident
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 
 def test_incident_cascade(benchmark):

@@ -8,7 +8,7 @@ traffic shifted as predicted; prefixes re-announced 2 hours later.
 
 from repro.experiments import build_east_asia_world, replay_east_asia
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 
 def test_incident_east_asia(benchmark):

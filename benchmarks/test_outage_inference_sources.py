@@ -14,7 +14,7 @@ from repro.telemetry import (
     infer_outages_from_snmp,
 )
 
-from conftest import PAPER_WINDOW, print_block
+from repro.experiments.benchlib import PAPER_WINDOW, print_block
 
 
 def test_ipfix_vs_snmp_outage_inference(paper_scenario, paper_runner,

@@ -6,7 +6,6 @@ streaming rate, hourly aggregation (with its compression accounting),
 and one-pass training of the full suite over three weeks of data.
 """
 
-import pytest
 
 from repro.core import (
     FEATURES_A,
@@ -17,7 +16,7 @@ from repro.core import (
 from repro.pipeline import HourlyAggregator
 from repro.telemetry import MetadataStore
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 
 def test_streaming_throughput(paper_scenario, benchmark):

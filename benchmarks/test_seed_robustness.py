@@ -14,7 +14,7 @@ from repro.experiments import (
     WindowSpec,
 )
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 SEEDS = (101, 202, 303)
 WINDOW = WindowSpec(train_start_day=0, train_days=14, test_days=7)

@@ -9,7 +9,7 @@ apportioned correctly, not merely for naming the right links.
 
 from repro.core.accuracy import evaluate_accuracy
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 
 def test_strict_volume_accuracy(paper_result, paper_runner,

@@ -8,7 +8,7 @@ of transfer learning.
 
 from repro.experiments import paper, tables
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 
 def test_table10_nb_outages(paper_result_nb, benchmark):

@@ -11,7 +11,7 @@ peers or distant routers.
 from repro.cms import RiskAnalyzer
 from repro.experiments import tables
 
-from conftest import PAPER_WINDOW, print_block
+from repro.experiments.benchlib import PAPER_WINDOW, print_block
 
 
 def _analyze(paper_scenario, paper_runner):

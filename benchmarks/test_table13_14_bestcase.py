@@ -9,7 +9,7 @@ collapses relative to the headline window.
 
 from repro.experiments import WindowSpec, tables
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 # a later window: more training history behind it, so a larger share of
 # the failing links has failed before

@@ -18,7 +18,7 @@ from repro.core import (
 )
 from repro.experiments import tables
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 
 def _train(model, counts):

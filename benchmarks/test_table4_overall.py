@@ -19,7 +19,7 @@ and the AP-led ensemble the best non-oracle model.
 
 from repro.experiments import paper, tables
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 
 def test_table4_overall(paper_result, benchmark):

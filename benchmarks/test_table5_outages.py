@@ -8,7 +8,7 @@ model overall under outages.
 
 from repro.experiments import paper, tables
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 
 def test_table5_outages_all(paper_result, benchmark):

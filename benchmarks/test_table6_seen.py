@@ -9,7 +9,7 @@ flows were re-routed is still valid").
 
 from repro.experiments import paper, tables
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 
 def test_table6_outages_seen(paper_result, benchmark):

@@ -11,7 +11,7 @@ performance, and the oracle gap is the largest of all tables.
 
 from repro.experiments import paper, tables
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 
 def test_table7_outages_unseen(paper_result, benchmark):

@@ -8,7 +8,7 @@ and appending it to an ensemble adds only a little.
 
 from repro.experiments import paper, tables
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 
 def test_table9_nb_overall(paper_result_nb, benchmark):

@@ -11,13 +11,11 @@ the meddled prefix's flows drops sharply versus the same flows left
 alone — the paper's reason to exclude the 0.7% of TE prefixes.
 """
 
-import numpy as np
 
-from repro.bgp import AdvertisementState
 from repro.core.accuracy import evaluate_accuracy
 from repro.experiments import EvaluationRunner, Scenario, ScenarioParams
 
-from conftest import print_block
+from repro.experiments.benchlib import print_block
 
 TRAIN_DAYS = 14
 TEST_DAYS = 5
@@ -46,9 +44,7 @@ def test_te_meddling_hurts_prediction(benchmark):
     lo, hi = TRAIN_DAYS * 24, (TRAIN_DAYS + TEST_DAYS) * 24
 
     # the busiest destination prefix and its hottest link in training
-    by_dest = {}
-    for (context, link), bytes_ in counts.counts.items():
-        pass  # contexts don't carry the dest prefix; use flows instead
+    # (contexts don't carry the dest prefix, so rank via the flow table)
     flows = scenario.traffic.flows
     dest_bytes = {}
     for flow in flows:

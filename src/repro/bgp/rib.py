@@ -10,7 +10,6 @@ Adj-RIB-In contents.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .messages import Announcement, Route, Withdrawal

@@ -96,10 +96,8 @@ class RiskAnalyzer:
         # per (affected link, affecting link): count of extra high hours
         extra_hours: Dict[Tuple[int, int], int] = {}
         typical_hours: Dict[int, int] = {}
-        n_hours = 0
 
         for _hour, entries in hours:
-            n_hours += 1
             actual: Dict[int, float] = {}
             by_link: Dict[int, List[Tuple[FlowContext, float]]] = {}
             for link_id, context, bytes_ in entries:

@@ -9,9 +9,12 @@ model suite costs one streaming pass plus cheap in-memory fits.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence, Tuple
+import itertools
+from typing import Dict, Iterable, List, Sequence, Tuple
 
-from ..pipeline.records import AggRecord, FlowContext
+import numpy as np
+
+from ..pipeline.records import AggColumns, AggRecord, FlowContext
 from .base import TrainableModel
 
 
@@ -19,17 +22,77 @@ class CountsAccumulator:
     """Finest-grain (flow context, link) -> bytes accumulator.
 
     Implements the :class:`repro.pipeline.dataset.HourConsumer` protocol
-    so it can sit directly on the aggregated hourly stream.
+    so it can sit directly on the aggregated hourly stream.  Columnar
+    producers should prefer :meth:`add_columns` + :meth:`drain`: hours
+    are buffered as arrays and reduced in one vectorised group-by whose
+    per-key sums are bit-identical to the per-record walk (both
+    accumulate in input order).
     """
 
     def __init__(self):
         self.counts: Dict[Tuple[FlowContext, int], float] = {}
+        self._pending: List[AggColumns] = []
 
     def consume_hour(self, hour: int, records: Sequence[AggRecord]) -> None:
         counts = self.counts
         for record in records:
             key = (record.context, record.link_id)
             counts[key] = counts.get(key, 0.0) + record.bytes
+
+    # -- columnar fast path ----------------------------------------------------
+
+    def add_columns(self, columns: AggColumns) -> None:
+        """Buffer one aggregated hour for :meth:`drain`.
+
+        Equivalent to ``consume_hour(columns.hour, columns.to_records())``
+        once drained, but defers the reduction so a whole window costs a
+        single numpy group-by instead of a dict update per record.
+        """
+        if columns.n_records:
+            self._pending.append(columns)
+
+    def drain(self) -> None:
+        """Fold every buffered hour into :attr:`counts`.
+
+        Hours are concatenated in the order they were added, so the
+        per-key byte sums match a serial record-by-record accumulation
+        bit for bit (``np.bincount`` adds weights in input order).
+        """
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        # local import: aggregation imports records, not this module
+        from ..pipeline.aggregation import _combine_group_codes
+
+        def cat(column: int) -> np.ndarray:
+            if len(pending) == 1:
+                return pending[0][column]
+            return np.concatenate([c[column] for c in pending])
+
+        # AggColumns field order: hour, link_ids, src_asns, src_prefixes,
+        # src_locs, dest_regions, dest_services, bytes
+        key_columns = tuple(cat(i) for i in range(1, 7))
+        bytes_ = cat(7)
+        combined = _combine_group_codes(key_columns)
+        _, first, inverse = np.unique(combined, return_index=True,
+                                      return_inverse=True)
+        sums = np.bincount(inverse.ravel(), weights=bytes_,
+                           minlength=len(first))
+        order = np.argsort(first, kind="stable")
+        rep = first[order]  # representative rows, in first-seen key order
+        link_ids, src_asns, src_prefixes, src_locs, dest_regions, \
+            dest_services = key_columns
+        contexts = map(tuple.__new__, itertools.repeat(FlowContext), zip(
+            src_asns[rep].tolist(), src_prefixes[rep].tolist(),
+            src_locs[rep].tolist(), dest_regions[rep].tolist(),
+            dest_services[rep].tolist()))
+        counts = self.counts
+        for context, link_id, total in zip(contexts,
+                                           link_ids[rep].tolist(),
+                                           sums[order].tolist()):
+            key = (context, link_id)
+            counts[key] = counts.get(key, 0.0) + total
 
     def add(self, context: FlowContext, link_id: int, bytes_: float) -> None:
         if bytes_ <= 0.0:
@@ -38,19 +101,24 @@ class CountsAccumulator:
         self.counts[key] = self.counts.get(key, 0.0) + bytes_
 
     def merge(self, other: "CountsAccumulator") -> None:
+        other.drain()
+        self.drain()
         for key, bytes_ in other.counts.items():
             self.counts[key] = self.counts.get(key, 0.0) + bytes_
 
     def total_bytes(self) -> float:
+        self.drain()
         return sum(self.counts.values())
 
     def __len__(self) -> int:
+        self.drain()
         return len(self.counts)
 
     # -- consumers -------------------------------------------------------------
 
     def fit(self, models: Iterable[TrainableModel]) -> None:
         """Train models from the accumulated counts (single pass each)."""
+        self.drain()
         models = list(models)
         for (context, link_id), bytes_ in self.counts.items():
             for model in models:
@@ -60,6 +128,7 @@ class CountsAccumulator:
 
     def actuals(self) -> Dict[FlowContext, Dict[int, float]]:
         """Reshape into the evaluation :data:`ActualsMap` layout."""
+        self.drain()
         out: Dict[FlowContext, Dict[int, float]] = {}
         for (context, link_id), bytes_ in self.counts.items():
             out.setdefault(context, {})[link_id] = (
@@ -68,6 +137,7 @@ class CountsAccumulator:
 
     def top1_links(self) -> Dict[FlowContext, int]:
         """Each flow's byte-dominant link (partitioning key in §5.3)."""
+        self.drain()
         best: Dict[FlowContext, Tuple[float, int]] = {}
         for (context, link_id), bytes_ in self.counts.items():
             current = best.get(context)

@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark suite.
+
+The benchmark files under ``benchmarks/`` used to import these from
+their ``conftest.py`` directly (``from conftest import print_block``),
+which only resolves when pytest is started from the repository root.
+Hosting them in the package makes the suite runnable from any working
+directory — CI, tox-style runners, or an editor's test integration.
+"""
+
+from __future__ import annotations
+
+from .runner import WindowSpec
+
+#: the paper's headline window: 3 weeks of training, 1 week of testing
+PAPER_WINDOW = WindowSpec(train_start_day=0, train_days=21, test_days=7)
+
+
+def print_block(text: str) -> None:
+    """Benchmarks print their reproduced tables through this."""
+    print("\n" + text)

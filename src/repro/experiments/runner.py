@@ -137,8 +137,15 @@ class EvaluationResult:
 class EvaluationRunner:
     """Runs the full §5 methodology over one scenario."""
 
-    def __init__(self, scenario: Scenario):
+    def __init__(self, scenario: Scenario, pipeline=None):
         self.scenario = scenario
+        #: optional :class:`repro.perf.ParallelPipelineRunner`; when set,
+        #: window collection fans out over its process pool
+        self.pipeline = pipeline
+        if pipeline is not None and pipeline.params is not scenario.params:
+            if pipeline.params != scenario.params:
+                raise ValueError(
+                    "pipeline and runner scenarios must match")
         self._n_links = len(self.scenario.wan.links)
         # scenarios are deterministic and read-only, so window collections
         # can be reused across runs (Appendix B sweeps share windows)
@@ -189,13 +196,16 @@ class EvaluationRunner:
         cached = self._window_cache.get((start_hour, end_hour))
         if cached is not None:
             return cached
-        acc = _StreamAccumulator(self._n_links, end_hour - start_hour,
-                                 start_hour)
-        scenario = self.scenario
-        for cols in scenario.stream(start_hour, end_hour):
-            down = scenario.scheduled_down_at(cols.hour)
-            acc.add_hour(cols, down)
-        acc.flush()
+        if self.pipeline is not None:
+            acc = self.pipeline.collect_window(start_hour, end_hour)
+        else:
+            acc = _StreamAccumulator(self._n_links, end_hour - start_hour,
+                                     start_hour)
+            scenario = self.scenario
+            for cols in scenario.stream(start_hour, end_hour):
+                down = scenario.scheduled_down_at(cols.hour)
+                acc.add_hour(cols, down)
+            acc.flush()
         self._window_cache[(start_hour, end_hour)] = acc
         return acc
 
@@ -367,7 +377,6 @@ class EvaluationRunner:
                 unseen_slices, oracles_for(unseen_slices) + models, ks),
             overall_actuals=overall_actuals,
         )
-        total_outage_bytes = seen_bytes + unseen_bytes
         result.stats = self._stats(overall_actuals, seen_bytes, unseen_bytes,
                                    seen_links, train_counts)
         return result

@@ -127,6 +127,9 @@ class Scenario:
         # expansion cache for the fast path
         self._exp_key: Optional[Tuple[int, int, int]] = None
         self._exp: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        # per-flow identifier columns for the columnar IPFIX path
+        self._flow_columns: Optional[Tuple[np.ndarray, np.ndarray,
+                                           np.ndarray]] = None
 
     # -- derived properties ----------------------------------------------------
 
@@ -246,6 +249,33 @@ class Scenario:
                                        flow.src_prefix_id, flow.src_asn,
                                        flow.dest_prefix_id, float(bytes_)))
         return records
+
+    def ipfix_columns_for(self, cols: HourColumns,
+                          use_sampled: bool = True
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                     np.ndarray, np.ndarray]:
+        """One hour of columns as aligned IPFIX identifier arrays.
+
+        Returns ``(link_ids, src_prefix_ids, src_asns, dest_prefix_ids,
+        bytes)`` filtered to positive byte counts — the same records, in
+        the same order, as :meth:`ipfix_records_for`, without building
+        per-record objects.  Feed straight into
+        :meth:`repro.pipeline.HourlyAggregator.aggregate_hour_arrays`.
+        """
+        if self._flow_columns is None:
+            flows = self.traffic.flows
+            self._flow_columns = (
+                np.array([f.src_prefix_id for f in flows], dtype=np.int64),
+                np.array([f.src_asn for f in flows], dtype=np.int64),
+                np.array([f.dest_prefix_id for f in flows], dtype=np.int64),
+            )
+        src_prefixes, src_asns, dest_prefixes = self._flow_columns
+        values = cols.sampled_bytes if use_sampled else cols.true_bytes
+        keep = values > 0.0
+        rows = cols.flow_rows[keep]
+        return (cols.link_ids[keep].astype(np.int64, copy=False),
+                src_prefixes[rows], src_asns[rows], dest_prefixes[rows],
+                values[keep].astype(np.float64, copy=False))
 
     def traffic_entries_for(self, cols: HourColumns,
                             use_sampled: bool = True):

@@ -1,0 +1,159 @@
+"""The ``repro bench`` command: measure, record, compare.
+
+Runs a fixed set of pipeline throughput measurements (telemetry
+streaming, per-record vs vectorised aggregation, columnar training
+counts, and the end-to-end serial vs parallel hourly pipeline), writes
+them as a ``BENCH_<date>.json`` report and compares against the last
+committed baseline of the same profile.
+
+Two profiles:
+
+* ``full`` — the paper-scale scenario; the numbers behind the README's
+  Performance section.
+* ``smoke`` — the small scenario over a shorter window; seconds-fast,
+  suitable as a CI gate.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import time
+from typing import Callable, Optional, Tuple
+
+from ..experiments.scenario import Scenario, ScenarioParams
+from ..pipeline.aggregation import HourlyAggregator
+from .parallel import ParallelPipelineRunner, default_workers
+from .regression import (
+    BenchReport,
+    compare_reports,
+    default_meta,
+    find_baseline,
+    load_report,
+    save_report,
+)
+
+DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
+
+
+def _best_of(fn: Callable[[], object], rounds: int = 3) -> float:
+    """Seconds for one call, best of ``rounds`` (noise-resistant)."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench_scenario(profile: str, seed: int) -> Tuple[Scenario, int]:
+    """(scenario, measured window in hours) for a profile."""
+    if profile == "smoke":
+        return Scenario(ScenarioParams.small(seed=seed)), 12
+    return Scenario(ScenarioParams(seed=seed)), 24
+
+
+def run_bench(
+    profile: str = "full",
+    seed: int = 1,
+    out_dir: str = DEFAULT_BASELINE_DIR,
+    tolerance: float = 0.30,
+    workers: Optional[int] = None,
+    compare: bool = True,
+    save: bool = True,
+    rounds: int = 3,
+    date: Optional[str] = None,
+) -> int:
+    """Run the benchmark suite; returns a process exit code."""
+    if compare and not 0.0 <= tolerance < 1.0:
+        raise SystemExit(
+            f"repro bench: --tolerance must be in [0, 1), got {tolerance}")
+    t_build = time.perf_counter()
+    scenario, window = _bench_scenario(profile, seed)
+    n_workers = workers or default_workers()
+    report = BenchReport(
+        date=date or datetime.date.today().isoformat(),
+        profile=profile, meta=default_meta())
+    report.meta["workers"] = str(n_workers)
+    report.meta["seed"] = str(seed)
+    print(f"world: {scenario.wan.summary()}, {len(scenario.traffic)} flows "
+          f"(built in {time.perf_counter() - t_build:.1f}s); "
+          f"measuring {window}h windows, best of {rounds}")
+
+    # 1. telemetry streaming (warm the expansion caches first)
+    for _ in scenario.stream(0, 2):
+        pass
+    elapsed = _best_of(lambda: sum(
+        1 for _ in scenario.stream(0, window)), rounds)
+    report.record("stream_hours_per_s", window / elapsed)
+    print(f"  stream:             {window / elapsed:8.1f} hours/s")
+
+    # 2. hourly aggregation, per-record reference vs vectorised columns
+    cols = next(iter(scenario.stream(12, 13)))
+    ipfix = scenario.ipfix_records_for(cols)
+    arrays = scenario.ipfix_columns_for(cols)
+    agg = HourlyAggregator(scenario.metadata, encoders=scenario.encoders)
+    agg.aggregate_hour(cols.hour, ipfix)              # warm join caches
+    serial_s = _best_of(lambda: agg.aggregate_hour(cols.hour, ipfix), rounds)
+    column_s = _best_of(
+        lambda: agg.aggregate_hour_columns(cols.hour, *arrays), rounds)
+    report.record("aggregate_records_per_s", len(ipfix) / serial_s)
+    report.record("aggregate_columnar_records_per_s", len(ipfix) / column_s)
+    print(f"  aggregate (record): {len(ipfix) / serial_s:8.0f} records/s")
+    print(f"  aggregate (column): {len(ipfix) / column_s:8.0f} records/s "
+          f"({serial_s / column_s:.1f}x)")
+
+    # 3. training counts from an aggregated window (columnar drain)
+    with ParallelPipelineRunner(scenario=scenario,
+                                n_workers=n_workers) as runner:
+        hours = list(runner.iter_hour_columns(0, window, parallel=False))
+        agg_records = sum(h.n_records for h in hours)
+
+        def collect():
+            counts = runner.collect_counts(0, window, parallel=False)
+            return len(counts)
+
+        counts_s = _best_of(collect, rounds)
+        report.record("counts_records_per_s", agg_records / counts_s)
+        print(f"  counts (columnar):  {agg_records / counts_s:8.0f} "
+              "agg-records/s")
+
+        # 4. end-to-end hourly pipeline, serial vs process pool
+        serial_pipe_s = _best_of(lambda: sum(
+            1 for _ in runner.iter_hour_columns(0, window, parallel=False)),
+            rounds)
+        report.record("pipeline_serial_hours_per_s", window / serial_pipe_s)
+        print(f"  pipeline (serial):  {window / serial_pipe_s:8.1f} hours/s")
+        if n_workers > 1:
+            # first parallel call pays pool startup; warm before timing
+            for _ in runner.iter_hour_columns(0, 2):
+                pass
+            par_s = _best_of(lambda: sum(
+                1 for _ in runner.iter_hour_columns(0, window)), rounds)
+            report.record("pipeline_parallel_hours_per_s", window / par_s)
+            print(f"  pipeline ({n_workers} proc):  {window / par_s:8.1f} "
+                  f"hours/s ({serial_pipe_s / par_s:.1f}x)")
+        else:
+            print("  pipeline (parallel): skipped (single CPU)")
+
+    exit_code = 0
+    if compare:
+        baseline_path = find_baseline(out_dir, profile=profile,
+                                      before=report.date)
+        if baseline_path is None:
+            print(f"no committed {profile!r} baseline under {out_dir}; "
+                  "nothing to compare against")
+        else:
+            baseline = load_report(baseline_path)
+            regressions = compare_reports(report, baseline, tolerance)
+            print(f"compared against {baseline_path} "
+                  f"(tolerance {tolerance:.0%}): "
+                  f"{len(regressions)} regression(s)")
+            for regression in regressions:
+                print(f"  REGRESSION {regression}")
+            if regressions:
+                exit_code = 1
+    if save:
+        path = save_report(report, out_dir)
+        print(f"wrote {path}")
+    return exit_code

@@ -1,0 +1,164 @@
+"""Benchmark-regression harness: record throughput, compare to baseline.
+
+The performance layer is only trustworthy if it stays fast, so benchmark
+runs are recorded as small JSON reports (``BENCH_<date>.json``, or
+``BENCH_<date>.smoke.json`` for the quick CI profile) and every new run
+is compared against the most recent committed baseline of the same
+profile.  A metric that drops by more than the tolerance (30% by
+default — generous enough to absorb shared-runner noise, tight enough to
+catch a real slowdown) is flagged as a :class:`Regression`.
+
+Metrics are throughputs (records or hours per second): higher is better,
+and only drops count against the tolerance.  Reports additionally carry
+environment context (python version, cpu count, worker count) so a
+baseline from different hardware is recognisable when triaging a flag.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: BENCH_2026-08-06.json / BENCH_2026-08-06.smoke.json
+_REPORT_RE = re.compile(
+    r"^BENCH_(\d{4}-\d{2}-\d{2})(?:\.(?P<profile>[a-z]+))?\.json$")
+
+DEFAULT_TOLERANCE = 0.30
+
+
+@dataclass
+class BenchReport:
+    """One benchmark run: named throughput metrics plus environment."""
+
+    date: str                       # ISO date, e.g. "2026-08-06"
+    profile: str = "full"           # "full" or "smoke"
+    metrics: Dict[str, float] = field(default_factory=dict)
+    meta: Dict[str, str] = field(default_factory=dict)
+
+    def record(self, name: str, throughput: float) -> None:
+        """Record one metric (units/second — higher is better)."""
+        if throughput < 0.0:
+            raise ValueError(f"negative throughput for {name!r}")
+        self.metrics[name] = float(throughput)
+
+    @property
+    def filename(self) -> str:
+        if self.profile == "full":
+            return f"BENCH_{self.date}.json"
+        return f"BENCH_{self.date}.{self.profile}.json"
+
+
+def default_meta() -> Dict[str, str]:
+    """Environment context worth keeping next to the numbers."""
+    import os
+
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": str(os.cpu_count() or 0),
+    }
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that fell past the tolerance vs the baseline."""
+
+    name: str
+    baseline: float
+    current: float
+
+    @property
+    def change(self) -> float:
+        """Fractional change vs baseline (negative = slower)."""
+        if self.baseline == 0.0:
+            return 0.0
+        return (self.current - self.baseline) / self.baseline
+
+    def __str__(self) -> str:
+        return (f"{self.name}: {self.current:,.1f}/s vs baseline "
+                f"{self.baseline:,.1f}/s ({self.change:+.1%})")
+
+
+def compare_reports(current: BenchReport, baseline: BenchReport,
+                    tolerance: float = DEFAULT_TOLERANCE) -> List[Regression]:
+    """Metrics in ``current`` that regressed past ``tolerance``.
+
+    Only metrics present in *both* reports are compared — a renamed or
+    newly added benchmark is not a regression, and a benchmark missing
+    from the current run is surfaced by the caller's own coverage, not
+    here.  Improvements never flag.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must be in [0, 1)")
+    regressions = []
+    for name, base_value in sorted(baseline.metrics.items()):
+        cur_value = current.metrics.get(name)
+        if cur_value is None or base_value <= 0.0:
+            continue
+        if cur_value < base_value * (1.0 - tolerance):
+            regressions.append(Regression(name, base_value, cur_value))
+    return regressions
+
+
+# -- persistence ----------------------------------------------------------------
+
+def save_report(report: BenchReport,
+                directory: Union[str, Path]) -> Path:
+    """Write a report to ``<directory>/<report.filename>``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / report.filename
+    payload = {
+        "date": report.date,
+        "profile": report.profile,
+        "metrics": report.metrics,
+        "meta": report.meta,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: Union[str, Path]) -> BenchReport:
+    payload = json.loads(Path(path).read_text())
+    return BenchReport(
+        date=str(payload["date"]),
+        profile=str(payload.get("profile", "full")),
+        metrics={str(k): float(v)
+                 for k, v in payload.get("metrics", {}).items()},
+        meta={str(k): str(v) for k, v in payload.get("meta", {}).items()},
+    )
+
+
+def find_baseline(directory: Union[str, Path], profile: str = "full",
+                  before: Optional[str] = None) -> Optional[Path]:
+    """The most recent committed report of ``profile`` in ``directory``.
+
+    ``before`` (an ISO date) excludes reports dated *after* it, so a
+    stray future-dated file cannot masquerade as the baseline.  A
+    same-date baseline is allowed — callers compare before saving, so a
+    run never reads its own freshly written report.  Returns ``None``
+    when no baseline exists yet (first run in a repo).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    best: Optional[Path] = None
+    best_date = ""
+    for path in directory.iterdir():
+        match = _REPORT_RE.match(path.name)
+        if not match:
+            continue
+        report_profile = match.group("profile") or "full"
+        if report_profile != profile:
+            continue
+        date = match.group(1)
+        if before is not None and date > before:
+            continue
+        if date > best_date:
+            best_date = date
+            best = path
+    return best

@@ -1,6 +1,6 @@
 """Data pipeline: records, encoding, aggregation, outages, streaming."""
 
-from .records import AggRecord, FlowContext, UNKNOWN_LOCATION
+from .records import AggColumns, AggRecord, FlowContext, UNKNOWN_LOCATION
 from .encoding import EncoderSet, OrdinalEncoder
 from .aggregation import CompressionStats, HourlyAggregator
 from .outages import (
@@ -16,7 +16,7 @@ from .traces import counts_from_trace, read_trace, write_trace
 
 __all__ = [
     "counts_from_trace", "read_trace", "write_trace",
-    "AggRecord", "FlowContext", "UNKNOWN_LOCATION",
+    "AggColumns", "AggRecord", "FlowContext", "UNKNOWN_LOCATION",
     "EncoderSet", "OrdinalEncoder",
     "CompressionStats", "HourlyAggregator",
     "Outage", "OutageInference", "OutageParams",

@@ -15,7 +15,7 @@ from typing import Dict, Iterable, Protocol, Sequence
 
 import numpy as np
 
-from .records import AggRecord
+from .records import AggColumns, AggRecord
 
 
 class HourConsumer(Protocol):
@@ -39,11 +39,33 @@ class LinkByteTracker:
             if idx is not None:
                 self.matrix[idx, hour] += record.bytes
 
+    def consume_columns(self, columns: AggColumns) -> None:
+        """Columnar :meth:`consume_hour` — one bincount per hour.
+
+        Unknown link ids are ignored, matching the per-record walk.
+        """
+        uniq, inverse = np.unique(columns.link_ids, return_inverse=True)
+        uniq_rows = np.fromiter((self._index.get(int(l), -1) for l in uniq),
+                                np.int64, count=len(uniq))
+        rows = uniq_rows[inverse.ravel()]
+        known = rows >= 0
+        self.matrix[:, columns.hour] += np.bincount(
+            rows[known], weights=columns.bytes[known],
+            minlength=len(self.link_ids))
+
     def add_bulk(self, hour: int, link_ids: np.ndarray,
                  bytes_: np.ndarray) -> None:
         """Vectorised accumulation used by the scenario fast path."""
         rows = np.array([self._index[l] for l in link_ids])
         np.add.at(self.matrix[:, hour], rows, bytes_)
+
+    def merge(self, other: "LinkByteTracker") -> None:
+        """Fold another tracker (e.g. one pipeline shard's) into this one."""
+        if other.link_ids != self.link_ids:
+            raise ValueError("cannot merge trackers over different links")
+        if other.matrix.shape != self.matrix.shape:
+            raise ValueError("cannot merge trackers over different horizons")
+        self.matrix += other.matrix
 
     def row_index(self, link_id: int) -> int:
         return self._index[link_id]

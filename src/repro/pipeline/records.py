@@ -10,7 +10,10 @@ prediction time.
 
 from __future__ import annotations
 
-from typing import NamedTuple
+import itertools
+from typing import List, NamedTuple
+
+import numpy as np
 
 #: encoded value used when the Geo-IP database has no entry for a prefix
 UNKNOWN_LOCATION = -1
@@ -42,3 +45,37 @@ class FlowContext(NamedTuple):
     src_loc: int
     dest_region: int
     dest_service: int
+
+
+class AggColumns(NamedTuple):
+    """One aggregated hour in columnar form (aligned numpy arrays).
+
+    The columnar twin of a ``List[AggRecord]``: same rows, same order,
+    one array per field.  This is what the vectorised aggregation path
+    produces and what the parallel pipeline ships between processes —
+    arrays serialise orders of magnitude faster than per-record objects.
+    ``to_records()`` converts losslessly to the record-level view.
+    """
+
+    hour: int
+    link_ids: np.ndarray
+    src_asns: np.ndarray
+    src_prefixes: np.ndarray
+    src_locs: np.ndarray
+    dest_regions: np.ndarray
+    dest_services: np.ndarray
+    bytes: np.ndarray
+
+    @property
+    def n_records(self) -> int:
+        return len(self.bytes)
+
+    def to_records(self) -> List[AggRecord]:
+        """The equivalent ``AggRecord`` list, in the same row order."""
+        # tuple.__new__ avoids the per-record Python constructor frame
+        return list(map(tuple.__new__, itertools.repeat(AggRecord), zip(
+            itertools.repeat(self.hour),
+            self.link_ids.tolist(), self.src_asns.tolist(),
+            self.src_prefixes.tolist(), self.src_locs.tolist(),
+            self.dest_regions.tolist(), self.dest_services.tolist(),
+            self.bytes.tolist())))

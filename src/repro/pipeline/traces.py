@@ -20,6 +20,8 @@ import csv
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
+import numpy as np
+
 from ..core.training import CountsAccumulator
 from ..telemetry.ipfix import IpfixRecord
 from ..telemetry.metadata import MetadataStore
@@ -98,6 +100,21 @@ def counts_from_trace(
             continue
         by_hour.setdefault(record.hour, []).append(record)
     for hour in sorted(by_hour):
-        aggregated = aggregator.aggregate_hour(hour, by_hour[hour])
-        counts.consume_hour(hour, aggregated)
+        records = by_hour[hour]
+        columns = aggregator.aggregate_hour_columns(
+            hour,
+            np.fromiter((r.link_id for r in records), np.int64,
+                        count=len(records)),
+            np.fromiter((r.src_prefix_id for r in records), np.int64,
+                        count=len(records)),
+            np.fromiter((r.src_asn for r in records), np.int64,
+                        count=len(records)),
+            np.fromiter((r.dest_prefix_id for r in records), np.int64,
+                        count=len(records)),
+            np.fromiter((r.bytes for r in records), np.float64,
+                        count=len(records)),
+            hours=np.fromiter((r.hour for r in records), np.int64,
+                              count=len(records)))
+        counts.add_columns(columns)
+    counts.drain()
     return counts

@@ -20,7 +20,6 @@ from ..bgp.messages import Route
 from ..topology.asgraph import ASGraph
 from ..topology.wan import CloudWAN
 from ..traffic.prefixes import PrefixUniverse
-from ..util.hashing import rotation
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,6 @@ metro's longitude (15° per hour), which is plenty for traffic shaping.
 from __future__ import annotations
 
 import math
-from typing import Tuple
 
 import numpy as np
 

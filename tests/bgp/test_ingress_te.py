@@ -128,7 +128,6 @@ class TestRoutingEffect:
         graph, wan = build_world()
         sim = IngressSimulator(graph, wan,
                                SimulatorParams(te_compliance=0.5), seed=1)
-        state = AdvertisementState(wan)
         clean = AdvertisementState(wan)
         moved = kept = 0
         for prefix in range(200):

@@ -216,7 +216,6 @@ class TestWithdrawalsAndOutages:
 class TestDrift:
     def test_no_day_means_no_drift(self, world):
         _g, wan, sim = world
-        state = AdvertisementState(wan)
         assert sim.drift_state(4, 100, 0, None) == (False, False)
 
     def test_drift_monotone_in_time(self, world):

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import FEATURES_AP
 from repro.core.service import ServiceConfig, TipsyService
 from repro.pipeline import AggRecord, FlowContext
 from repro.topology import (

@@ -1,6 +1,5 @@
 """Tests for the counts accumulator and model fitting."""
 
-import pytest
 
 from repro.core import (
     FEATURES_A,
@@ -75,3 +74,62 @@ class TestAccumulation:
         acc.add(ctx(1), 9, 10.0)
         acc.add(ctx(1), 5, 10.0)
         assert acc.top1_links()[ctx(1)] == 5
+
+
+class TestColumnarAccumulation:
+    """add_columns/drain must equal the per-record walk exactly."""
+
+    @staticmethod
+    def columns(hour, rows):
+        import numpy as np
+        from repro.pipeline import AggColumns
+
+        link, asn, prefix, loc, region, service, bytes_ = zip(*rows)
+        return AggColumns(
+            hour,
+            np.array(link, dtype=np.int64), np.array(asn, dtype=np.int64),
+            np.array(prefix, dtype=np.int64), np.array(loc, dtype=np.int64),
+            np.array(region, dtype=np.int64),
+            np.array(service, dtype=np.int64), np.array(bytes_))
+
+    def test_matches_consume_hour(self):
+        hours = {
+            0: [(5, 1, 1, 0, 0, 0, 10.0), (5, 1, 1, 0, 0, 0, 5.0),
+                (7, 1, 2, 0, 1, 0, 2.5)],
+            1: [(5, 1, 1, 0, 0, 0, 5.0), (9, 2, 3, 1, 0, 1, 1.25)],
+        }
+        columnar = CountsAccumulator()
+        reference = CountsAccumulator()
+        for hour, rows in hours.items():
+            cols = self.columns(hour, rows)
+            columnar.add_columns(cols)
+            reference.consume_hour(hour, cols.to_records())
+        columnar.drain()
+        assert columnar.counts == reference.counts
+
+    def test_consumers_auto_drain(self):
+        acc = CountsAccumulator()
+        acc.add_columns(self.columns(0, [(5, 1, 1, 0, 0, 0, 10.0)]))
+        assert len(acc) == 1          # __len__ drains
+        acc.add_columns(self.columns(1, [(5, 1, 1, 0, 0, 0, 2.0)]))
+        assert acc.total_bytes() == 12.0
+        assert acc.top1_links() == {ctx(1): 5}
+
+    def test_drain_is_idempotent_and_merges_with_add(self):
+        acc = CountsAccumulator()
+        acc.add(ctx(1), 5, 1.0)
+        acc.add_columns(self.columns(0, [(5, 1, 1, 0, 0, 0, 2.0)]))
+        acc.drain()
+        acc.drain()
+        assert acc.counts == {(ctx(1), 5): 3.0}
+
+    def test_empty_columns_ignored(self):
+        import numpy as np
+        from repro.pipeline import AggColumns
+
+        empty_i = np.empty(0, dtype=np.int64)
+        acc = CountsAccumulator()
+        acc.add_columns(AggColumns(0, empty_i, empty_i, empty_i, empty_i,
+                                   empty_i, empty_i, np.empty(0)))
+        acc.drain()
+        assert len(acc) == 0

@@ -1,6 +1,5 @@
 """Coverage for smaller experiment-layer surfaces."""
 
-import pytest
 
 from repro.experiments import (
     EvaluationRunner,

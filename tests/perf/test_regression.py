@@ -1,0 +1,116 @@
+"""Tests for the benchmark-regression harness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BenchReport,
+    Regression,
+    compare_reports,
+    default_meta,
+    find_baseline,
+    load_report,
+    save_report,
+)
+
+
+def report(date="2026-08-01", profile="full", **metrics) -> BenchReport:
+    rep = BenchReport(date=date, profile=profile)
+    for name, value in metrics.items():
+        rep.record(name, value)
+    return rep
+
+
+class TestBenchReport:
+    def test_filenames_by_profile(self):
+        assert report().filename == "BENCH_2026-08-01.json"
+        assert report(profile="smoke").filename == \
+            "BENCH_2026-08-01.smoke.json"
+
+    def test_negative_throughput_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            report().record("stream", -1.0)
+
+    def test_default_meta_has_environment(self):
+        meta = default_meta()
+        assert "python" in meta and "cpus" in meta
+
+    def test_save_load_round_trip(self, tmp_path):
+        original = report(stream=123.5, aggregate=9e5)
+        original.meta = {"cpus": "4"}
+        path = save_report(original, tmp_path)
+        assert path.name == original.filename
+        loaded = load_report(path)
+        assert loaded == original
+
+    def test_saved_payload_is_plain_json(self, tmp_path):
+        path = save_report(report(stream=10.0), tmp_path)
+        payload = json.loads(path.read_text())
+        assert payload["metrics"] == {"stream": 10.0}
+        assert payload["profile"] == "full"
+
+
+class TestFindBaseline:
+    def test_latest_of_matching_profile(self, tmp_path):
+        save_report(report(date="2026-07-01", stream=1.0), tmp_path)
+        save_report(report(date="2026-07-15", stream=2.0), tmp_path)
+        save_report(report(date="2026-07-20", profile="smoke", stream=3.0),
+                    tmp_path)
+        found = find_baseline(tmp_path, profile="full")
+        assert found is not None and found.name == "BENCH_2026-07-15.json"
+        smoke = find_baseline(tmp_path, profile="smoke")
+        assert smoke is not None and "smoke" in smoke.name
+
+    def test_before_excludes_later_but_not_same_date(self, tmp_path):
+        save_report(report(date="2026-07-15", stream=1.0), tmp_path)
+        save_report(report(date="2026-07-20", stream=2.0), tmp_path)
+        found = find_baseline(tmp_path, profile="full", before="2026-07-15")
+        assert found is not None and found.name == "BENCH_2026-07-15.json"
+
+    def test_empty_or_missing_directory(self, tmp_path):
+        assert find_baseline(tmp_path) is None
+        assert find_baseline(tmp_path / "nope") is None
+
+    def test_non_report_files_ignored(self, tmp_path):
+        (tmp_path / "notes.json").write_text("{}")
+        (tmp_path / "BENCH_garbage.json").write_text("{}")
+        assert find_baseline(tmp_path) is None
+
+
+class TestCompareReports:
+    def test_drop_past_tolerance_flags(self):
+        regressions = compare_reports(report(stream=60.0),
+                                      report(stream=100.0), tolerance=0.30)
+        assert len(regressions) == 1
+        flagged = regressions[0]
+        assert flagged.name == "stream"
+        assert flagged.change == pytest.approx(-0.40)
+        assert "stream" in str(flagged)
+
+    def test_drop_within_tolerance_passes(self):
+        assert compare_reports(report(stream=71.0), report(stream=100.0),
+                               tolerance=0.30) == []
+
+    def test_improvement_never_flags(self):
+        assert compare_reports(report(stream=500.0),
+                               report(stream=100.0)) == []
+
+    def test_metrics_missing_from_either_side_skipped(self):
+        current = report(stream=100.0, new_metric=1.0)
+        baseline = report(stream=100.0, removed_metric=50.0)
+        assert compare_reports(current, baseline) == []
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_reports(report(), report(), tolerance=1.5)
+
+    def test_zero_baseline_skipped(self):
+        baseline = BenchReport(date="2026-08-01",
+                               metrics={"stream": 0.0})
+        assert compare_reports(report(stream=0.0), baseline) == []
+
+    def test_regression_change_with_zero_baseline(self):
+        assert Regression("x", 0.0, 1.0).change == 0.0

@@ -127,3 +127,80 @@ class TestCorruptTelemetry:
         agg.strict = False
         with pytest.raises(ValueError, match="chunk"):
             agg.aggregate_hour(1, [record(universe, wan, hour=0)])
+
+
+class TestBatchAggregation:
+    """The vectorised path must match the per-record walk exactly."""
+
+    def _mixed_records(self, universe, wan):
+        return (
+            [record(universe, wan, link=l, prefix_idx=p, dest=d,
+                    bytes_=1e5 * (1 + l + p + d))
+             for l in range(2) for p in range(5) for d in range(4)]
+            + [record(universe, wan, bytes_=1e5)] * 3
+            + [IpfixRecord(0, 1, 10**9, 4242, 2, 5e5)]  # unknown location
+        )
+
+    def test_batch_matches_serial(self, aggregator):
+        agg, wan, universe = aggregator
+        records = self._mixed_records(universe, wan)
+        serial = agg.aggregate_hour(0, list(records))
+        batch_agg = HourlyAggregator(agg.metadata)
+        batch = batch_agg.aggregate_hour_batch(0, list(records))
+        assert batch == serial  # same records, same order
+        assert batch_agg.stats == agg.stats
+        # encoder code assignments must also match (first-seen order)
+        assert batch_agg.encoders.region.decode(batch[0].dest_region) == \
+            agg.encoders.region.decode(serial[0].dest_region)
+
+    def test_columns_to_records_round_trip(self, aggregator):
+        agg, wan, universe = aggregator
+        records = self._mixed_records(universe, wan)
+        serial = agg.aggregate_hour(0, list(records))
+        columns_agg = HourlyAggregator(agg.metadata)
+        columns_agg.aggregate_hour_batch(0, [])  # empty hour is fine
+        batch = columns_agg.aggregate_hour_batch(0, list(records))
+        assert [r.context for r in batch] == [r.context for r in serial]
+        assert all(isinstance(r.bytes, float) for r in batch)
+
+    def test_batch_strict_raises_same_error(self, aggregator):
+        agg, wan, universe = aggregator
+        bad_dest = IpfixRecord(0, 0, universe.prefix(0).prefix_id,
+                               universe.prefix(0).asn, 10**9, 1e6)
+        bad_bytes = record(universe, wan, bytes_=-5.0)
+        for bad, pattern in ((bad_dest, "cannot aggregate"),
+                             (bad_bytes, "non-positive")):
+            records = [record(universe, wan), bad, record(universe, wan)]
+            serial_agg = HourlyAggregator(agg.metadata)
+            with pytest.raises(ValueError) as serial_exc:
+                serial_agg.aggregate_hour(0, list(records))
+            batch_agg = HourlyAggregator(agg.metadata)
+            with pytest.raises(ValueError, match=pattern) as batch_exc:
+                batch_agg.aggregate_hour_batch(0, list(records))
+            assert str(batch_exc.value) == str(serial_exc.value)
+
+    def test_batch_lenient_drops_and_counts(self, aggregator):
+        agg, wan, universe = aggregator
+        agg.strict = False
+        good = record(universe, wan)
+        bad_dest = IpfixRecord(0, 0, universe.prefix(0).prefix_id,
+                               universe.prefix(0).asn, 10**9, 1e6)
+        bad_bytes = record(universe, wan, bytes_=0.0)
+        out = agg.aggregate_hour_batch(0, [good, bad_dest, bad_bytes, good])
+        assert len(out) == 1
+        assert out[0].bytes == pytest.approx(2e6)
+        assert agg.stats.records_dropped == 2
+        assert agg.stats.records_in == 4
+        assert agg.stats.records_out == 1
+
+    def test_batch_hour_mismatch_rejected(self, aggregator):
+        agg, wan, universe = aggregator
+        agg.strict = False  # hour chunking violations raise regardless
+        with pytest.raises(ValueError, match="chunk"):
+            agg.aggregate_hour_batch(1, [record(universe, wan, hour=0)])
+
+    def test_ratio_with_zero_input(self):
+        from repro.pipeline import CompressionStats
+        stats = CompressionStats()
+        assert stats.records_in == 0
+        assert stats.ratio == 1.0  # no input: nothing was compressed

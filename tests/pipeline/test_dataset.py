@@ -57,3 +57,39 @@ class TestFanout:
 
         fanout(3, [rec(3, 10, 1.0)], [Probe("a"), Probe("b")])
         assert calls == [("a", 3, 1), ("b", 3, 1)]
+
+
+class TestColumnarTracker:
+    @staticmethod
+    def cols(hour, links, bytes_):
+        from repro.pipeline import AggColumns
+
+        n = len(links)
+        zeros = np.zeros(n, dtype=np.int64)
+        return AggColumns(hour, np.array(links, dtype=np.int64), zeros,
+                          zeros, zeros, zeros, zeros, np.array(bytes_))
+
+    def test_consume_columns_matches_consume_hour(self):
+        columnar = LinkByteTracker([10, 11], n_hours=4)
+        reference = LinkByteTracker([10, 11], n_hours=4)
+        columns = self.cols(1, [10, 10, 11, 99], [5.0, 3.0, 2.0, 7.0])
+        columnar.consume_columns(columns)
+        reference.consume_hour(1, columns.to_records())
+        assert np.array_equal(columnar.matrix, reference.matrix)
+        assert columnar.bytes_for(10)[1] == 8.0  # unknown link 99 ignored
+
+    def test_merge(self):
+        a = LinkByteTracker([10, 11], n_hours=2)
+        b = LinkByteTracker([10, 11], n_hours=2)
+        a.consume_columns(self.cols(0, [10], [1.0]))
+        b.consume_columns(self.cols(1, [11], [2.0]))
+        a.merge(b)
+        assert a.bytes_for(10)[0] == 1.0
+        assert a.bytes_for(11)[1] == 2.0
+
+    def test_merge_rejects_mismatched_shapes(self):
+        a = LinkByteTracker([10, 11], n_hours=2)
+        with pytest.raises(ValueError, match="links"):
+            a.merge(LinkByteTracker([10, 12], n_hours=2))
+        with pytest.raises(ValueError, match="horizons"):
+            a.merge(LinkByteTracker([10, 11], n_hours=3))

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bgp import AdvertisementState, IngressSimulator
+from repro.bgp import AdvertisementState
 from repro.experiments import Scenario, ScenarioParams
 
 

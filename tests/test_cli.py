@@ -50,3 +50,26 @@ class TestCli:
         text = output.read_text()
         assert "# TIPSY reproduction report" in text
         assert "Table 7" in text
+
+
+class TestBenchCommand:
+    def test_bench_smoke_runs_and_records(self, capsys, tmp_path):
+        assert main(["bench", "--smoke", "--seed", "3", "--workers", "1",
+                     "--rounds", "1", "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "stream:" in out
+        assert "aggregate (column):" in out
+        reports = list(tmp_path.glob("BENCH_*.smoke.json"))
+        assert len(reports) == 1
+
+    def test_bench_fails_on_regression(self, capsys, tmp_path):
+        from repro.perf import BenchReport, save_report
+
+        # an absurdly fast committed baseline forces a regression flag
+        baseline = BenchReport(date="2000-01-01", profile="smoke")
+        baseline.record("stream_hours_per_s", 1e15)
+        save_report(baseline, tmp_path)
+        assert main(["bench", "--smoke", "--seed", "3", "--workers", "1",
+                     "--rounds", "1", "--no-save",
+                     "--out-dir", str(tmp_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out

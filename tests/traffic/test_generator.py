@@ -90,7 +90,6 @@ class TestPopulation:
 
     def test_rate_cap_enforced(self, world):
         *_rest, gen = world
-        total = sum(f.base_rate_mbps for f in gen.flows)
         cap_limit = gen.params.rate_cap_fraction * (
             gen.params.mean_utilization_target *
             sum(l.capacity_gbps for l in world[1].links) * 1000.0)
