@@ -10,6 +10,8 @@ Commands:
   table.
 * ``bench`` — measure pipeline throughput, record a ``BENCH_<date>.json``
   report and compare against the committed baseline.
+* ``lint`` — run the determinism & parallel-safety static checks
+  (``docs/static-analysis.md``).
 """
 
 from __future__ import annotations
@@ -17,6 +19,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from .experiments import Scenario
+    from .pipeline.records import FlowContext
 
 
 def _add_world_args(parser: argparse.ArgumentParser) -> None:
@@ -25,7 +32,7 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
-def _build_scenario(args):
+def _build_scenario(args: argparse.Namespace) -> "Scenario":
     from .experiments import Scenario, ScenarioParams
 
     if args.size == "small":
@@ -37,7 +44,7 @@ def _build_scenario(args):
     return Scenario(params)
 
 
-def cmd_evaluate(args) -> int:
+def cmd_evaluate(args: argparse.Namespace) -> int:
     from .experiments import EvaluationRunner, WindowSpec, paper, tables
 
     t0 = time.time()
@@ -76,7 +83,7 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
-def cmd_incident(args) -> int:
+def cmd_incident(args: argparse.Namespace) -> int:
     from .experiments import build_incident_world, replay_incident
 
     world = build_incident_world(seed=args.seed)
@@ -95,7 +102,7 @@ def cmd_incident(args) -> int:
     return 0
 
 
-def cmd_risk(args) -> int:
+def cmd_risk(args: argparse.Namespace) -> int:
     from .cms import RiskAnalyzer
     from .experiments import EvaluationRunner, tables
 
@@ -106,7 +113,7 @@ def cmd_risk(args) -> int:
     models = {m.name: m for m in runner.build_models(counts)}
     analyzer = RiskAnalyzer(scenario.wan, models["Hist_AL"], threshold=0.70)
 
-    def hours():
+    def hours() -> "Iterator[Tuple[int, List[Tuple[int, FlowContext, float]]]]":
         for cols in scenario.stream(train_hours,
                                     train_hours + args.test_days * 24):
             yield cols.hour, scenario.risk_entries_for(cols)
@@ -119,7 +126,7 @@ def cmd_risk(args) -> int:
     return 0
 
 
-def cmd_report(args) -> int:
+def cmd_report(args: argparse.Namespace) -> int:
     from .experiments import ReportOptions, WindowSpec, build_report
 
     scenario = _build_scenario(args)
@@ -135,7 +142,7 @@ def cmd_report(args) -> int:
     return 0
 
 
-def cmd_bench(args) -> int:
+def cmd_bench(args: argparse.Namespace) -> int:
     from .perf.bench import run_bench
 
     return run_bench(
@@ -150,7 +157,13 @@ def cmd_bench(args) -> int:
     )
 
 
-def main(argv=None) -> int:
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.cli import run_lint
+
+    return run_lint(args)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="TIPSY reproduction — predict where traffic will "
@@ -206,6 +219,12 @@ def main(argv=None) -> int:
     p_bench.add_argument("--no-save", action="store_true",
                          help="do not write a report file")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_lint = sub.add_parser(
+        "lint", help="determinism & parallel-safety static checks")
+    from .analysis.cli import add_lint_arguments
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

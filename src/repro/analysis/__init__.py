@@ -1,0 +1,32 @@
+"""Repo-specific static analysis: the determinism & parallel-safety gate.
+
+``repro lint`` (see :mod:`repro.analysis.cli`) walks the tree with
+custom AST checkers enforcing the invariants the reproduction's
+correctness rests on — explicitly-seeded RNG everywhere, picklable
+symbols across process-pool boundaries, no wall-clock reads on the
+hot path, no mutable default arguments.  Rules are documented in
+``docs/static-analysis.md`` and suppressed inline with
+``# repro: noqa[RAxxx]``.
+"""
+
+from .base import (DEFAULT_HOT_PACKAGES, RULES, Checker, ImportMap,
+                   ModuleContext, Violation, apply_suppressions,
+                   checker_classes, suppressed_lines)
+from .engine import (AnalysisReport, analyze_paths, analyze_source,
+                     iter_python_files)
+
+__all__ = [
+    "DEFAULT_HOT_PACKAGES",
+    "RULES",
+    "Checker",
+    "ImportMap",
+    "ModuleContext",
+    "Violation",
+    "apply_suppressions",
+    "checker_classes",
+    "suppressed_lines",
+    "AnalysisReport",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+]

@@ -1,0 +1,224 @@
+"""Shared plumbing for the repo-specific static checkers.
+
+Every checker is an :mod:`ast` visitor that walks one parsed module and
+reports :class:`Violation` records.  The engine (``engine.py``) feeds
+each checker a :class:`ModuleContext` describing the file under
+analysis — its path, source lines, and whether it lives on a
+determinism-critical hot path — and afterwards filters out violations
+the author suppressed with an inline ``# repro: noqa[RAxxx]`` marker.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Type
+
+#: registry of rule code -> (symbolic name, one-line description).
+#: ``docs/static-analysis.md`` documents each in depth.
+RULES: Dict[str, Tuple[str, str]] = {
+    "RA000": ("parse-error",
+              "file could not be parsed; nothing else was checked"),
+    "RA001": ("global-random-call",
+              "call to a global `random` module function (unseeded, "
+              "process-wide RNG state)"),
+    "RA002": ("numpy-global-random",
+              "call to the legacy `numpy.random` global API (shared, "
+              "unseeded generator state)"),
+    "RA003": ("unseeded-rng",
+              "RNG constructed without an explicit seed expression"),
+    "RA101": ("pool-lambda",
+              "lambda handed across a process-pool boundary (not "
+              "picklable)"),
+    "RA102": ("pool-closure",
+              "locally-defined function handed across a process-pool "
+              "boundary (not picklable)"),
+    "RA201": ("wall-clock-hot-path",
+              "wall-clock read inside a determinism-critical package"),
+    "RA301": ("mutable-default-arg",
+              "mutable default argument value shared across calls"),
+}
+
+#: package directories whose hourly code must be a pure function of
+#: (seed, hour) — wall-clock reads are banned inside them (RA201).
+DEFAULT_HOT_PACKAGES: FrozenSet[str] = frozenset(
+    {"pipeline", "core", "traffic"})
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]*)\])?")
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule firing at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def rule_name(self) -> str:
+        return RULES.get(self.code, ("unknown", ""))[0]
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.code} [{self.rule_name}] {self.message}")
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "rule": self.rule_name,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """Everything a checker needs to know about the file under analysis."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    hot_packages: FrozenSet[str] = DEFAULT_HOT_PACKAGES
+    display_path: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.display_path:
+            self.display_path = str(self.path)
+
+    @property
+    def is_hot_path(self) -> bool:
+        """True when the file lives under a determinism-critical package."""
+        return bool(self.hot_packages.intersection(self.path.parts))
+
+
+class Checker(ast.NodeVisitor):
+    """Base class: an AST visitor that accumulates violations."""
+
+    #: codes this checker can emit (used by ``--select`` filtering and
+    #: by the fixture tests to map fixtures onto checkers)
+    codes: Tuple[str, ...] = ()
+
+    def __init__(self, context: ModuleContext) -> None:
+        self.context = context
+        self.violations: List[Violation] = []
+
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        self.violations.append(Violation(
+            path=self.context.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        ))
+
+    def run(self) -> List[Violation]:
+        self.visit(self.context.tree)
+        return self.violations
+
+
+@dataclass
+class ImportMap:
+    """Resolves local names to the modules / symbols they were bound to.
+
+    Tracks ``import x.y as z`` and ``from x import y as z`` forms so the
+    RNG checkers can recognise ``numpy.random`` and ``random`` access
+    regardless of aliasing (``import numpy.random as npr``,
+    ``from numpy.random import default_rng as rng_of`` …).
+    """
+
+    #: local name -> dotted module path ("np" -> "numpy")
+    modules: Dict[str, str] = field(default_factory=dict)
+    #: local name -> (source module, original symbol name)
+    symbols: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+    def collect(self, tree: ast.Module) -> "ImportMap":
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # un-aliased "import numpy.random" binds "numpy"
+                    target = alias.name if alias.asname else local
+                    self.modules[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports never hit stdlib/numpy
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.symbols[local] = (node.module, alias.name)
+        return self
+
+    def resolve_attribute(self, node: ast.expr) -> Optional[str]:
+        """Dotted path for an expression like ``np.random.rand``.
+
+        Returns e.g. ``"numpy.random.rand"`` or None when the base name
+        is not a tracked import.
+        """
+        parts: List[str] = []
+        cursor = node
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        base = cursor.id
+        if base in self.modules:
+            prefix = self.modules[base]
+        elif base in self.symbols:
+            module, original = self.symbols[base]
+            prefix = f"{module}.{original}"
+        else:
+            return None
+        return ".".join([prefix] + list(reversed(parts)))
+
+
+def suppressed_lines(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Map line numbers to the rule codes suppressed on that line.
+
+    A bare ``# repro: noqa`` suppresses every rule (value ``None``);
+    ``# repro: noqa[RA001, RA301]`` suppresses only the listed codes.
+    """
+    out: Dict[int, Optional[FrozenSet[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(text)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            out[lineno] = None
+        else:
+            out[lineno] = frozenset(
+                c.strip().upper() for c in codes.split(",") if c.strip())
+    return out
+
+
+def apply_suppressions(source: str,
+                       violations: Sequence[Violation]) -> List[Violation]:
+    """Drop violations whose line carries a matching noqa marker."""
+    markers = suppressed_lines(source)
+    kept: List[Violation] = []
+    for violation in violations:
+        codes = markers.get(violation.line, frozenset())
+        if codes is None:  # bare noqa: everything on the line
+            continue
+        if violation.code in codes:
+            continue
+        kept.append(violation)
+    return kept
+
+
+def checker_classes() -> List[Type[Checker]]:
+    """All registered checker classes (imported lazily to avoid cycles)."""
+    from .hygiene import HotPathClockChecker, MutableDefaultChecker
+    from .parallel import PoolBoundaryChecker
+    from .rng import RngDisciplineChecker
+
+    return [RngDisciplineChecker, PoolBoundaryChecker,
+            HotPathClockChecker, MutableDefaultChecker]

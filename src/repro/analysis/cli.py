@@ -1,0 +1,108 @@
+"""``repro lint`` — the determinism & parallel-safety gate.
+
+Exit codes: 0 clean, 1 violations found (including files that failed to
+parse, reported as RA000).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import FrozenSet, List, Optional, TextIO
+
+from .base import DEFAULT_HOT_PACKAGES, RULES
+from .engine import AnalysisReport, analyze_paths
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: src)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is machine-readable, for CI artifacts)")
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to enable (default: all)")
+    parser.add_argument(
+        "--hot-path", default=",".join(sorted(DEFAULT_HOT_PACKAGES)),
+        metavar="PKGS",
+        help="comma-separated package dirs treated as determinism-"
+             "critical for RA201")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit")
+    parser.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="also write the report to FILE (in the chosen format)")
+
+
+def _parse_codes(spec: Optional[str]) -> Optional[FrozenSet[str]]:
+    if spec is None:
+        return None
+    codes = frozenset(c.strip().upper() for c in spec.split(",") if c.strip())
+    unknown = codes.difference(RULES)
+    if unknown:
+        raise SystemExit(
+            f"repro lint: unknown rule code(s): {', '.join(sorted(unknown))}")
+    return codes
+
+
+def _render_text(report: AnalysisReport, stream: TextIO) -> None:
+    for violation in report.violations:
+        print(violation.render(), file=stream)
+    counts = report.counts_by_code()
+    summary = ", ".join(f"{code}×{n}" for code, n in counts.items())
+    if report.clean:
+        print(f"repro lint: {report.files_scanned} files scanned, clean",
+              file=stream)
+    else:
+        print(f"repro lint: {report.files_scanned} files scanned, "
+              f"{len(report.violations)} violation(s): {summary}",
+              file=stream)
+
+
+def _render(report: AnalysisReport, fmt: str, stream: TextIO) -> None:
+    if fmt == "json":
+        json.dump(report.to_json(), stream, indent=2)
+        stream.write("\n")
+    else:
+        _render_text(report, stream)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for code, (name, description) in sorted(RULES.items()):
+            print(f"{code}  {name:<22s} {description}")
+        return 0
+    raw_paths: List[str] = args.paths or ["src"]
+    paths = [Path(p) for p in raw_paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print("repro lint: no such path: "
+              + ", ".join(str(p) for p in missing), file=sys.stderr)
+        return 1
+    hot = frozenset(
+        p.strip() for p in args.hot_path.split(",") if p.strip())
+    report = analyze_paths(paths, hot_packages=hot,
+                           select=_parse_codes(args.select),
+                           root=Path.cwd())
+    _render(report, args.format, sys.stdout)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            _render(report, args.format, handle)
+    return 0 if report.clean else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism & parallel-safety static checks")
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

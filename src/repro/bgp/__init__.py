@@ -1,6 +1,6 @@
 """BGP substrate: messages, RIBs, policy, propagation, ingress simulation."""
 
-from .messages import Announcement, Origin, Route, Withdrawal
+from .messages import Announcement, Message, Origin, Route, Withdrawal
 from .policy import best_route, best_routes, compare, sort_key
 from .rib import AdjRibIn, EdgeRouter, LocRib
 from .state import AdvertisementState
@@ -15,7 +15,7 @@ from .propagation import (
 from .simulator import IngressSimulator, ShareVector, SimulatorParams
 
 __all__ = [
-    "Announcement", "Origin", "Route", "Withdrawal",
+    "Announcement", "Message", "Origin", "Route", "Withdrawal",
     "best_route", "best_routes", "compare", "sort_key",
     "AdjRibIn", "EdgeRouter", "LocRib",
     "AdvertisementState",

@@ -10,7 +10,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 
 class Origin(enum.IntEnum):
@@ -89,3 +89,7 @@ class Withdrawal:
     prefix: str
     timestamp: float = 0.0
     seq: int = field(default_factory=lambda: next(_message_counter))
+
+
+#: either kind of BGP UPDATE a session can carry
+Message = Union[Announcement, Withdrawal]

@@ -16,12 +16,12 @@ because it needs metro coordinates.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Tuple
 
 from .messages import Route
 
 
-def sort_key(route: Route) -> Tuple:
+def sort_key(route: Route) -> Tuple[Any, ...]:
     """Total-order key such that ``min`` picks the best route.
 
     MED is incomparable across neighbor ASes in real BGP; including it

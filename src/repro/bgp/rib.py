@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from .messages import Announcement, Route, Withdrawal
+from .messages import Announcement, Message, Route, Withdrawal
 from .policy import best_route
 
 
@@ -23,7 +23,7 @@ class AdjRibIn:
         self.session = session
         self._routes: Dict[str, Route] = {}
 
-    def apply(self, message) -> None:
+    def apply(self, message: Message) -> None:
         """Apply an Announcement or Withdrawal for this session."""
         if isinstance(message, Announcement):
             if message.session != self.session:
@@ -101,7 +101,7 @@ class EdgeRouter:
 
     # -- inbound ------------------------------------------------------------
 
-    def receive(self, message) -> None:
+    def receive(self, message: Message) -> None:
         """Apply an inbound message and recompute the affected prefix."""
         session = message.session
         if session not in self._sessions:

@@ -42,9 +42,9 @@ are cached per seeded-neighbor set, so week-long simulations stay fast.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from ..topology.asgraph import ASGraph
+from ..topology.asgraph import ASGraph, Pocket
 from ..topology.wan import CloudWAN, PeeringLink
 from ..util.hashing import geometric_day, mix64, rotation, unit
 from .propagation import RoutingTable, compute_routing_table, default_bias
@@ -113,12 +113,12 @@ class IngressSimulator:
         self._peer_asns = frozenset(a for a in wan.peer_asns if a in graph)
         self._table_by_removed: Dict[FrozenSet[int], RoutingTable] = {}
         self._table_by_seeded: Dict[FrozenSet[int], RoutingTable] = {}
-        self._share_cache: Dict[Tuple, ShareVector] = {}
-        self._visited_cache: Dict[Tuple, Tuple[int, ...]] = {}
+        self._share_cache: Dict[Tuple[Any, ...], ShareVector] = {}
+        self._visited_cache: Dict[Tuple[Any, ...], Tuple[int, ...]] = {}
         self._entry_cache: Dict[Tuple[int, str], str] = {}
         self._removed_peers_cache: Dict[FrozenSet[int], FrozenSet[int]] = {}
         self._drift_cache: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
-        self._ranked_cache: Dict[Tuple, Tuple[PeeringLink, ...]] = {}
+        self._ranked_cache: Dict[Tuple[Any, ...], Tuple[PeeringLink, ...]] = {}
         self._p_cache: Dict[Tuple[int, int], float] = {}
 
     # -- routing tables -----------------------------------------------------
@@ -338,7 +338,8 @@ class IngressSimulator:
                    _EMPTY_REMOVED, (), minor, major)
             self._visited_cache[key] = tuple(visited)
 
-    def _origin_candidates(self, src_asn: int, pocket, table: RoutingTable) -> List[int]:
+    def _origin_candidates(self, src_asn: int, pocket: Optional[Pocket],
+                           table: RoutingTable) -> List[int]:
         """Ranked next-hop ASNs for an origin that cannot deliver itself."""
         if pocket is not None:
             candidates = [p for p in pocket.providers if p in table]

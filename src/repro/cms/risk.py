@@ -11,7 +11,7 @@ rows of paper Tables 12 and 15.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 
 from ..core.base import IngressModel
@@ -196,7 +196,7 @@ class GroupRiskAnalyzer:
         raise ValueError(f"unknown grouping {group_by!r}")
 
     def _groups(self, group_by: str) -> Dict[str, FrozenSet[int]]:
-        groups: Dict[str, set] = {}
+        groups: Dict[str, Set[int]] = {}
         for link in self.wan.links:
             groups.setdefault(self.group_of(link.link_id, group_by),
                               set()).add(link.link_id)

@@ -22,7 +22,7 @@ class FeatureSet:
     name: str
     fields: Tuple[str, ...]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         valid = set(FlowContext._fields)
         for f in self.fields:
             if f not in valid:
@@ -30,7 +30,7 @@ class FeatureSet:
         # attrgetter with multiple names returns a tuple directly
         object.__setattr__(self, "_getter", attrgetter(*self.fields))
 
-    def key(self, context: FlowContext) -> Tuple:
+    def key(self, context: FlowContext) -> Tuple[object, ...]:
         """Extract this feature set's key tuple from a flow context."""
         got = self._getter(context)
         return got if isinstance(got, tuple) else (got,)

@@ -35,8 +35,9 @@ class HistoricalModel(TrainableModel):
         self.feature_set = feature_set
         self.name = name or f"Hist_{feature_set.name}"
         self.keep_top = keep_top
-        self._counts: Dict[Tuple, Dict[int, float]] = {}
-        self._ranked: Optional[Dict[Tuple, Tuple[Prediction, ...]]] = None
+        self._counts: Dict[Tuple[object, ...], Dict[int, float]] = {}
+        self._ranked: Optional[Dict[Tuple[object, ...],
+                                 Tuple[Prediction, ...]]] = None
 
     # -- training -------------------------------------------------------------
 
@@ -52,7 +53,7 @@ class HistoricalModel(TrainableModel):
         self._ranked = None
 
     def finalize(self) -> None:
-        ranked: Dict[Tuple, Tuple[Prediction, ...]] = {}
+        ranked: Dict[Tuple[object, ...], Tuple[Prediction, ...]] = {}
         for key, links in self._counts.items():
             total = sum(links.values())
             if total <= 0.0:
@@ -97,7 +98,7 @@ class HistoricalModel(TrainableModel):
         """Number of stored flow tuples (model size, paper Table 3)."""
         return len(self._counts)
 
-    def tuples(self) -> Tuple[Tuple, ...]:
+    def tuples(self) -> Tuple[Tuple[object, ...], ...]:
         return tuple(self._counts)
 
     def bytes_for(self, context: FlowContext) -> Dict[int, float]:

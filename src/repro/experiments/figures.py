@@ -17,7 +17,7 @@ numbering follows the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -87,7 +87,7 @@ def fig3_link_spread(scenario: Scenario, start_hour: int, end_hour: int,
     traffic arrived on, then builds a byte-weighted CDF per distance
     group (paper Figure 3).
     """
-    links_per_as: Dict[int, set] = {}
+    links_per_as: Dict[int, Set[int]] = {}
     bytes_per_as: Dict[int, float] = {}
     flows = scenario.traffic.flows
     for cols in scenario.stream(start_hour, end_hour):

@@ -11,7 +11,7 @@ and 10 are the October 2020 Naive Bayes comparison (Appendix A).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 AccuracyRef = Dict[str, Dict[int, float]]
 
@@ -126,7 +126,7 @@ def comparison_rows(
     measured: Mapping[str, Mapping[int, float]],
     reference: AccuracyRef,
     ks: Tuple[int, ...] = (1, 2, 3),
-):
+) -> List[Tuple[str, int, float, float, float]]:
     """(model, k, measured, paper, delta) rows for side-by-side output."""
     rows = []
     for model, ref_ks in reference.items():
@@ -138,7 +138,8 @@ def comparison_rows(
     return rows
 
 
-def format_comparison(measured, reference, title: str,
+def format_comparison(measured: Mapping[str, Mapping[int, float]],
+                      reference: AccuracyRef, title: str,
                       ks: Tuple[int, ...] = (3,)) -> str:
     """A printable measured-vs-paper block (top-3 by default)."""
     lines = [f"== {title} (measured vs paper, top-{'/'.join(map(str, ks))}) ==",

@@ -17,7 +17,8 @@ Reproduces the paper's methodology end to end:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Dict, FrozenSet, List, Mapping,
+                    Optional, Sequence, Tuple)
 
 import numpy as np
 
@@ -33,6 +34,9 @@ from ..core.training import CountsAccumulator
 from ..pipeline.outages import OutageInference
 from ..pipeline.records import FlowContext
 from .scenario import HourColumns, Scenario
+
+if TYPE_CHECKING:
+    from ..perf.parallel import ParallelPipelineRunner
 
 NO_LINKS: FrozenSet[int] = frozenset()
 
@@ -137,7 +141,8 @@ class EvaluationResult:
 class EvaluationRunner:
     """Runs the full §5 methodology over one scenario."""
 
-    def __init__(self, scenario: Scenario, pipeline=None):
+    def __init__(self, scenario: Scenario,
+                 pipeline: "Optional[ParallelPipelineRunner]" = None):
         self.scenario = scenario
         #: optional :class:`repro.perf.ParallelPipelineRunner`; when set,
         #: window collection fans out over its process pool
@@ -353,7 +358,9 @@ class EvaluationRunner:
                     sum(v.values()) for v in unseen_actuals.values())
 
         # 6. oracles per partition (perfect test knowledge, k-restricted)
-        def oracles_for(slices) -> List[IngressModel]:
+        def oracles_for(
+                slices: Sequence[Tuple[ActualsMap, FrozenSet[int]]],
+        ) -> List[IngressModel]:
             oracle_counts = CountsAccumulator()
             for actuals, _down in slices:
                 for context, by_link in actuals.items():
@@ -382,8 +389,9 @@ class EvaluationRunner:
         return result
 
     @staticmethod
-    def _stats(overall_actuals, seen_bytes, unseen_bytes, seen_links,
-               train_counts) -> Dict[str, float]:
+    def _stats(overall_actuals: ActualsMap, seen_bytes: float,
+               unseen_bytes: float, seen_links: FrozenSet[int],
+               train_counts: CountsAccumulator) -> Dict[str, float]:
         total_outage_bytes = seen_bytes + unseen_bytes
         return {
             "total_bytes": sum(sum(v.values())

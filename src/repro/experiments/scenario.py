@@ -15,7 +15,8 @@ data as :class:`AggRecord` streams when fidelity matters more than speed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterator, List,
+                    NamedTuple, Optional, Tuple)
 
 import numpy as np
 
@@ -33,6 +34,9 @@ from ..topology.geography import MetroCatalog
 from ..topology.wan import WANParams, generate_wan
 from ..traffic.generator import TrafficGenerator, TrafficParams
 from ..traffic.prefixes import PrefixUniverse
+
+if TYPE_CHECKING:
+    from ..cms.mitigation import TrafficEntry
 
 
 class HourColumns(NamedTuple):
@@ -171,14 +175,15 @@ class Scenario:
         for link_id in self._starts.get(hour, ()):
             state.set_link_down(link_id)
 
-    def scheduled_down_at(self, hour: int) -> frozenset:
+    def scheduled_down_at(self, hour: int) -> FrozenSet[int]:
         """Ground-truth set of links down at an hour (for analyses)."""
         return frozenset(o.link_id for o in self.outage_schedule
                          if o.active_at(hour))
 
     # -- streaming -----------------------------------------------------------------
 
-    def _expansion(self, day: int, state: AdvertisementState):
+    def _expansion(self, day: int, state: AdvertisementState
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         key = (state.uid, state.version, day)
         if self._exp_key == key:
             return self._exp
@@ -278,7 +283,8 @@ class Scenario:
                 values[keep].astype(np.float64, copy=False))
 
     def traffic_entries_for(self, cols: HourColumns,
-                            use_sampled: bool = True):
+                            use_sampled: bool = True
+                            ) -> "List[TrafficEntry]":
         """One hour of columns as CMS :class:`TrafficEntry` objects."""
         from ..cms.mitigation import TrafficEntry
 

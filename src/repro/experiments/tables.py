@@ -155,7 +155,7 @@ class CostRow:
                 f"{self.predict_micros:9.1f}us {self.size_entries:>10d}")
 
 
-def format_block(title: str, rows: Sequence, header: str) -> str:
+def format_block(title: str, rows: Sequence[object], header: str) -> str:
     """A printable table block with title and header."""
     lines = [f"== {title} ==", header]
     lines += [row.formatted() for row in rows]

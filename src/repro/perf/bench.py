@@ -109,7 +109,7 @@ def run_bench(
         hours = list(runner.iter_hour_columns(0, window, parallel=False))
         agg_records = sum(h.n_records for h in hours)
 
-        def collect():
+        def collect() -> int:
             counts = runner.collect_counts(0, window, parallel=False)
             return len(counts)
 

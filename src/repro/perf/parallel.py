@@ -29,12 +29,27 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from ..core.training import CountsAccumulator
 from ..pipeline.aggregation import CompressionStats, HourlyAggregator
 from ..pipeline.records import AggColumns, AggRecord
 from ..experiments.scenario import Scenario, ScenarioParams
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from ..experiments.runner import _StreamAccumulator
+
+#: what one `_collect_shard` call ships back to the parent: the shard
+#: bounds plus the accumulator's by-downset/total byte dicts and its
+#: per-link matrix slice
+ShardResult = Tuple[
+    int, int,
+    Dict[FrozenSet[int], Dict[Tuple[int, int], float]],
+    Dict[Tuple[int, int], float],
+    "np.ndarray",
+]
 
 
 def default_workers() -> int:
@@ -98,7 +113,7 @@ def _aggregate_shard(
     return out, delta
 
 
-def _collect_shard(task: Tuple[int, int]):
+def _collect_shard(task: Tuple[int, int]) -> ShardResult:
     """One shard of an evaluation-runner window collection."""
     from ..experiments.runner import _StreamAccumulator
 
@@ -207,7 +222,7 @@ class ParallelPipelineRunner:
     def __enter__(self) -> "ParallelPipelineRunner":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- the aggregated hourly stream --------------------------------------
@@ -286,7 +301,8 @@ class ParallelPipelineRunner:
 
     # -- evaluation-runner windows ------------------------------------------
 
-    def collect_window(self, start_hour: int, end_hour: int):
+    def collect_window(self, start_hour: int,
+                       end_hour: int) -> "_StreamAccumulator":
         """A parallel ``EvaluationRunner.collect_window`` equivalent.
 
         Shards are day-aligned so no accumulator epoch spans a shard

@@ -153,8 +153,10 @@ class HourlyAggregator:
                                            src_asns, dest_prefix_ids, bytes_,
                                            hours=hours).to_records()
 
-    def _raise_for_row(self, hour: int, link_ids, src_prefix_ids, src_asns,
-                       dest_prefix_ids, bytes_, row: int) -> None:
+    def _raise_for_row(self, hour: int, link_ids: np.ndarray,
+                       src_prefix_ids: np.ndarray, src_asns: np.ndarray,
+                       dest_prefix_ids: np.ndarray, bytes_: np.ndarray,
+                       row: int) -> None:
         """Re-derive and raise the exact per-record strict-mode error."""
         record = IpfixRecord(hour, int(link_ids[row]),
                              int(src_prefix_ids[row]), int(src_asns[row]),

@@ -9,7 +9,7 @@ accounting.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Tuple
 
 
 class OrdinalEncoder:
@@ -45,7 +45,7 @@ class OrdinalEncoder:
     def __contains__(self, value: Hashable) -> bool:
         return value in self._to_code
 
-    def values(self) -> tuple:
+    def values(self) -> Tuple[Hashable, ...]:
         return tuple(self._to_value)
 
 

@@ -164,7 +164,7 @@ class InferenceQuality:
 def compare_inference(truth: Sequence[Outage], inferred: Sequence[Outage],
                       start_hour: int, end_hour: int) -> InferenceQuality:
     """Link-hour recall/precision of inferred outages against truth."""
-    def link_hours(outages) -> Set[Tuple[int, int]]:
+    def link_hours(outages: Sequence[Outage]) -> Set[Tuple[int, int]]:
         hours = set()
         for outage in outages:
             for hour in range(max(outage.start_hour, start_hour),

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 EARTH_RADIUS_KM = 6371.0
 
@@ -126,7 +126,7 @@ class MetroCatalog:
     def __len__(self) -> int:
         return len(self._metros)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Metro]:
         return iter(self._metros)
 
     def __contains__(self, name: str) -> bool:

@@ -125,7 +125,8 @@ class TrafficGenerator:
 
     # -- population ----------------------------------------------------------
 
-    def _build_flows(self, distance_of) -> List[FlowSpec]:
+    def _build_flows(self, distance_of: Callable[[int], Optional[int]]
+                     ) -> List[FlowSpec]:
         params = self.params
         rng = self._rng
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..topology.asgraph import ASGraph, ASRole
 
@@ -83,7 +83,7 @@ class PrefixUniverse:
     def __len__(self) -> int:
         return len(self._prefixes)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[SourcePrefix]:
         return iter(self._prefixes)
 
     def prefix(self, prefix_id: int) -> SourcePrefix:

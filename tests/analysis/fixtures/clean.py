@@ -1,0 +1,31 @@
+"""Disciplined code: nothing here should fire any rule."""
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def shard_worker(shard):
+    return sum(shard)
+
+
+def build_rng(seed, hour):
+    return np.random.default_rng((seed << 20) ^ hour)
+
+
+def jittered(seed):
+    rng = random.Random(seed ^ 0x9E3F)
+    return rng.random()
+
+
+def fan_out(shards):
+    with ProcessPoolExecutor() as pool:
+        results = [pool.submit(shard_worker, s) for s in shards]
+    return [r.result() for r in results]
+
+
+def collect(values, acc=None):
+    if acc is None:
+        acc = []
+    acc.extend(values)
+    return acc

@@ -1,0 +1,15 @@
+"""Known-bad: wall-clock reads on the hot path (RA201).
+
+This fixture lives under a ``core/`` directory on purpose: RA201 only
+applies inside the determinism-critical packages (pipeline, core,
+traffic).
+"""
+import time
+from datetime import datetime
+
+
+def aggregate_hour(records):
+    started = time.time()  # expect: RA201
+    stamp = datetime.now()  # expect: RA201
+    ticks = time.perf_counter()  # expect: RA201
+    return records, started, stamp, ticks

@@ -1,0 +1,20 @@
+"""Known-bad: module-level stdlib random functions (RA001).
+
+Each offending line carries a trailing ``# expect: <code>`` marker that
+the fixture tests parse; the analyzer itself never sees the markers.
+"""
+import random
+from random import shuffle
+
+jitter = random.random()  # expect: RA001
+pick = random.choice([1, 2, 3])  # expect: RA001
+random.seed(42)  # expect: RA001
+entropy = random.SystemRandom()  # expect: RA001
+
+
+def scramble(items):
+    shuffle(items)  # expect: RA001
+    return items
+
+
+seeded = random.Random(0x5A17)  # fine: explicit seed

@@ -1,0 +1,10 @@
+"""Known-bad: legacy numpy global-RandomState API (RA002)."""
+import numpy as np
+import numpy.random as npr
+
+noise = np.random.rand(24)  # expect: RA002
+draw = np.random.randint(0, 10)  # expect: RA002
+np.random.seed(7)  # expect: RA002
+volumes = npr.normal(0.0, 1.0, size=8)  # expect: RA002
+
+rng = np.random.default_rng(0xF10)  # fine: explicit generator, seeded

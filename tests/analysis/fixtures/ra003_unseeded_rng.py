@@ -1,0 +1,13 @@
+"""Known-bad: RNG constructed without an explicit seed (RA003)."""
+import random
+import numpy as np
+from numpy.random import default_rng
+
+rng_a = default_rng()  # expect: RA003
+rng_b = np.random.default_rng()  # expect: RA003
+rng_c = np.random.default_rng(None)  # expect: RA003
+rng_d = random.Random()  # expect: RA003
+legacy = np.random.RandomState()  # expect: RA003
+
+rng_ok = default_rng(1234)  # fine
+rng_kw = np.random.default_rng(seed=0xAC7)  # fine

@@ -1,0 +1,11 @@
+"""Known-bad: lambdas handed across the process-pool boundary (RA101)."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(hours):
+    with ProcessPoolExecutor(initializer=lambda: None) as pool:  # expect: RA101
+        futures = [pool.submit(lambda h: h * 2, hour)  # expect: RA101
+                   for hour in hours]
+        doubler = lambda h: h * 2
+        more = pool.map(doubler, hours)  # expect: RA101
+    return futures, more

@@ -1,0 +1,16 @@
+"""Known-bad: closures handed across the process-pool boundary (RA102)."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def shard_worker(shard):
+    return sum(shard)
+
+
+def fan_out(shards, scale):
+    def scaled_worker(shard):  # closes over `scale`
+        return sum(shard) * scale
+
+    with ProcessPoolExecutor() as executor:
+        bad = [executor.submit(scaled_worker, s) for s in shards]  # expect: RA102
+        good = [executor.submit(shard_worker, s) for s in shards]  # fine
+    return bad, good

@@ -1,0 +1,24 @@
+"""Known-bad: mutable default argument values (RA301)."""
+from collections import defaultdict
+
+
+def accumulate(value, acc=[]):  # expect: RA301
+    acc.append(value)
+    return acc
+
+
+def index(key, table={}):  # expect: RA301
+    return table.setdefault(key, len(table))
+
+
+def bucket(value, *, seen=set(), counts=defaultdict(int)):  # expect: RA301, RA301
+    seen.add(value)
+    counts[value] += 1
+    return seen, counts
+
+
+def fine(value, acc=None, label="x", limit=10):
+    if acc is None:
+        acc = []
+    acc.append(value)
+    return acc

@@ -1,0 +1,13 @@
+"""Every violation here carries a matching noqa marker — must lint clean."""
+import random
+import numpy as np
+
+jitter = random.random()  # repro: noqa[RA001]
+noise = np.random.rand(3)  # repro: noqa[RA002]
+rng = np.random.default_rng()  # repro: noqa[RA003]
+both = random.Random()  # repro: noqa[RA001, RA003]
+
+
+def accumulate(value, acc=[]):  # repro: noqa
+    acc.append(value)
+    return acc

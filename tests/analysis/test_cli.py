@@ -1,0 +1,86 @@
+"""CLI tests for ``repro lint``: exit codes, formats, rule listing."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_exit_zero_on_clean_tree(capsys):
+    assert lint_main([str(FIXTURES / "clean.py")]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+@pytest.mark.parametrize("fixture", [
+    "ra001_global_random.py", "ra002_numpy_global.py",
+    "ra003_unseeded_rng.py", "ra101_pool_lambda.py",
+    "ra102_pool_closure.py", "hot/core/ra201_wall_clock.py",
+    "ra301_mutable_default.py",
+])
+def test_exit_nonzero_on_each_rule_fixture(fixture, capsys):
+    """Acceptance: `repro lint` exits non-zero on every rule's fixture."""
+    assert lint_main([str(FIXTURES / fixture)]) == 1
+    assert "RA" in capsys.readouterr().out
+
+
+def test_json_format_is_machine_readable(capsys):
+    code = lint_main([str(FIXTURES / "ra301_mutable_default.py"),
+                      "--format", "json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False
+    assert payload["counts_by_code"].keys() == {"RA301"}
+
+
+def test_output_file_written(tmp_path, capsys):
+    out_file = tmp_path / "report.json"
+    lint_main([str(FIXTURES / "ra001_global_random.py"),
+               "--format", "json", "-o", str(out_file)])
+    capsys.readouterr()
+    assert json.loads(out_file.read_text())["clean"] is False
+
+
+def test_select_filters_rules(capsys):
+    # fixture only contains RA001 violations; selecting RA201 finds none
+    assert lint_main([str(FIXTURES / "ra001_global_random.py"),
+                      "--select", "RA201"]) == 0
+    capsys.readouterr()
+
+
+def test_unknown_select_code_errors():
+    with pytest.raises(SystemExit, match="unknown rule code"):
+        lint_main([str(FIXTURES), "--select", "RA999"])
+
+
+def test_missing_path_exits_nonzero(capsys):
+    assert lint_main(["definitely/not/a/path.py"]) == 1
+    capsys.readouterr()
+
+
+def test_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RA001", "RA002", "RA003", "RA101", "RA102",
+                 "RA201", "RA301"):
+        assert code in out
+
+
+def test_repro_lint_subcommand_end_to_end():
+    """`python -m repro lint src` — the exact CI invocation — is clean."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "src", "--format", "json"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")})
+    assert result.returncode == 0, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["clean"] is True
+    assert payload["files_scanned"] > 50

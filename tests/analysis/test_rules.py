@@ -1,0 +1,87 @@
+"""Fixture-driven tests: each known-bad snippet fires exactly the rules
+its ``# expect: <code>`` markers declare, at the marked lines."""
+
+import re
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(?P<codes>[A-Z0-9,\s]+)")
+
+
+def expected_violations(path):
+    """Parse ``# expect: RA001[, RA002...]`` markers into (line, code)."""
+    out = []
+    for lineno, text in enumerate(
+            path.read_text().splitlines(), start=1):
+        match = _EXPECT_RE.search(text)
+        if not match:
+            continue
+        for code in match.group("codes").split(","):
+            code = code.strip()
+            if code:
+                out.append((lineno, code))
+    return out
+
+
+def fixture_files():
+    return sorted(p for p in FIXTURES.rglob("*.py"))
+
+
+def test_fixture_tree_is_nonempty():
+    names = {p.name for p in fixture_files()}
+    # one known-bad fixture per rule family, plus clean + suppressed
+    assert {"ra001_global_random.py", "ra002_numpy_global.py",
+            "ra003_unseeded_rng.py", "ra101_pool_lambda.py",
+            "ra102_pool_closure.py", "ra201_wall_clock.py",
+            "ra301_mutable_default.py", "clean.py",
+            "suppressed.py"} <= names
+
+
+@pytest.mark.parametrize(
+    "path", fixture_files(), ids=lambda p: str(p.relative_to(FIXTURES)))
+def test_fixture_fires_exactly_the_marked_rules(path):
+    violations = analyze_source(path.read_text(), path)
+    got = Counter((v.line, v.code) for v in violations)
+    want = Counter(expected_violations(path))
+    assert got == want, (
+        f"{path.name}: expected {sorted(want.elements())}, "
+        f"got {sorted(got.elements())}")
+
+
+def test_every_rule_code_is_covered_by_a_fixture():
+    fired = set()
+    for path in fixture_files():
+        fired.update(code for _, code in expected_violations(path))
+    assert {"RA001", "RA002", "RA003", "RA101", "RA102",
+            "RA201", "RA301"} <= fired
+
+
+def test_violation_messages_name_the_remedy():
+    path = FIXTURES / "ra003_unseeded_rng.py"
+    violations = analyze_source(path.read_text(), path)
+    assert violations, "expected RA003 violations"
+    assert all("mix64" in v.message for v in violations)
+
+
+def test_hot_path_rule_silent_outside_hot_packages(tmp_path):
+    src = (FIXTURES / "hot" / "core" / "ra201_wall_clock.py").read_text()
+    cold = tmp_path / "cli" / "timing.py"
+    cold.parent.mkdir(parents=True)
+    cold.write_text(src)
+    assert analyze_source(src, cold) == []
+
+
+def test_hot_path_packages_are_configurable(tmp_path):
+    src = (FIXTURES / "hot" / "core" / "ra201_wall_clock.py").read_text()
+    custom = tmp_path / "ingest" / "timing.py"
+    custom.parent.mkdir(parents=True)
+    custom.write_text(src)
+    violations = analyze_source(src, custom,
+                                hot_packages=frozenset({"ingest"}))
+    assert {v.code for v in violations} == {"RA201"}

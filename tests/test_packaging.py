@@ -1,0 +1,72 @@
+"""Packaging checks: the ``py.typed`` marker must actually ship.
+
+``pyproject.toml`` references the marker via ``[tool.setuptools.package-data]``;
+these tests catch the classic failure where the file exists in the repo
+but is silently dropped from the built distribution (or never existed at
+all), which would turn every downstream ``mypy`` run against the
+installed package into a no-op.
+"""
+
+import subprocess
+import sys
+import tarfile
+import zipfile
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_MARKER = REPO_ROOT / "src" / "repro" / "py.typed"
+
+
+def _build(kind, out_dir):
+    """Build an sdist or wheel via the PEP 517 backend, in a subprocess
+    so the backend's cwd requirement doesn't disturb the test runner."""
+    code = (
+        "import setuptools.build_meta as bm, sys\n"
+        f"print(bm.build_{kind}(sys.argv[1]))\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code, str(out_dir)],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    if result.returncode != 0:
+        return None, result.stderr
+    return out_dir / result.stdout.strip().splitlines()[-1], None
+
+
+def test_py_typed_marker_exists_in_tree():
+    """pyproject's package-data points at src/repro/py.typed — it must
+    exist (an empty file is the PEP 561 convention)."""
+    assert SRC_MARKER.is_file()
+
+
+def test_pyproject_declares_py_typed_package_data():
+    text = (REPO_ROOT / "pyproject.toml").read_text()
+    assert "py.typed" in text
+
+
+def test_sdist_includes_py_typed(tmp_path):
+    artifact, err = _build("sdist", tmp_path)
+    assert artifact is not None, f"sdist build failed:\n{err}"
+    with tarfile.open(artifact) as tar:
+        names = tar.getnames()
+    assert any(n.endswith("src/repro/py.typed") for n in names), names
+
+
+def test_wheel_includes_py_typed(tmp_path):
+    """Build a real wheel and check the marker lands inside it.
+
+    Skipped (not failed) where the environment cannot build wheels at
+    all — old setuptools without the bundled ``wheel`` backend; CI
+    installs the pinned dev extra and always runs this.
+    """
+    artifact, err = _build("wheel", tmp_path)
+    if artifact is None:
+        assert err is not None
+        if "wheel" in err.lower() or "No module named" in err:
+            pytest.skip("environment cannot build wheels "
+                        "(setuptools without wheel support)")
+        pytest.fail(f"wheel build failed:\n{err}")
+    with zipfile.ZipFile(artifact) as wheel:
+        names = wheel.namelist()
+    assert "repro/py.typed" in names, names
