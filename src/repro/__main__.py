@@ -154,6 +154,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         compare=not args.no_compare,
         save=not args.no_save,
         rounds=args.rounds,
+        suite=args.suite,
     )
 
 
@@ -205,6 +206,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bench.add_argument("--smoke", action="store_true",
                          help="seconds-fast CI profile (small scenario)")
     p_bench.add_argument("--seed", type=int, default=1)
+    p_bench.add_argument("--suite", choices=("all", "pipeline", "serving"),
+                         default="all",
+                         help="which measurements to run (default: all)")
     p_bench.add_argument("--workers", type=int, default=None,
                          help="process-pool size (default: cpu count)")
     p_bench.add_argument("--rounds", type=int, default=3,

@@ -120,6 +120,14 @@ class IngressSimulator:
         self._drift_cache: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
         self._ranked_cache: Dict[Tuple[Any, ...], Tuple[PeeringLink, ...]] = {}
         self._p_cache: Dict[Tuple[int, int], float] = {}
+        # hit/miss counters for the hot lookups (share resolution, routing
+        # tables, ranked candidate pools)
+        self._share_hits = 0
+        self._share_misses = 0
+        self._table_hits = 0
+        self._table_misses = 0
+        self._ranked_hits = 0
+        self._ranked_misses = 0
 
     # -- routing tables -----------------------------------------------------
 
@@ -127,7 +135,9 @@ class IngressSimulator:
         """AS-level routing table for a set of removed links (cached)."""
         table = self._table_by_removed.get(removed)
         if table is not None:
+            self._table_hits += 1
             return table
+        self._table_misses += 1
         seeded = frozenset(
             asn
             for asn in self._peer_asns
@@ -193,17 +203,20 @@ class IngressSimulator:
         key = (src_asn, src_metro, src_prefix, dest_prefix, removed,
                prepends, minor, major)
         shares = self._share_cache.get(key)
-        if shares is None:
-            if prepends:
-                # TE prefixes are rare; resolve them fully
-                shares = self._resolve(src_asn, src_metro, src_prefix,
-                                       dest_prefix, removed, minor, major,
-                                       prepends=dict(prepends))
-            else:
-                shares = self._resolve_with_shortcut(
-                    src_asn, src_metro, src_prefix, dest_prefix, removed,
-                    minor, major)
-            self._share_cache[key] = shares
+        if shares is not None:
+            self._share_hits += 1
+            return shares
+        self._share_misses += 1
+        if prepends:
+            # TE prefixes are rare; resolve them fully
+            shares = self._resolve(src_asn, src_metro, src_prefix,
+                                   dest_prefix, removed, minor, major,
+                                   prepends=dict(prepends))
+        else:
+            shares = self._resolve_with_shortcut(
+                src_asn, src_metro, src_prefix, dest_prefix, removed,
+                minor, major)
+        self._share_cache[key] = shares
         return shares
 
     def _resolve_with_shortcut(
@@ -436,6 +449,11 @@ class IngressSimulator:
         # are rare — 0.7% in the paper's network)
         rank_key = (entry_metro, tuple(l.link_id for l in links))
         pool = None if prepends else self._ranked_cache.get(rank_key)
+        if not prepends:
+            if pool is None:
+                self._ranked_misses += 1
+            else:
+                self._ranked_hits += 1
         if pool is None:
             ranked = sorted(
                 links,
@@ -484,9 +502,21 @@ class IngressSimulator:
     # -- statistics -----------------------------------------------------------
 
     def cache_stats(self) -> Dict[str, int]:
-        """Cache occupancy, for logs and benchmarks."""
+        """Occupancy of every cache plus hot-path hit/miss counters."""
         return {
             "share_entries": len(self._share_cache),
+            "visited_entries": len(self._visited_cache),
+            "entry_metro_entries": len(self._entry_cache),
+            "removed_peers_entries": len(self._removed_peers_cache),
+            "drift_entries": len(self._drift_cache),
+            "ranked_pool_entries": len(self._ranked_cache),
+            "primary_share_entries": len(self._p_cache),
             "tables_by_removed": len(self._table_by_removed),
             "tables_by_seeded": len(self._table_by_seeded),
+            "share_hits": self._share_hits,
+            "share_misses": self._share_misses,
+            "table_hits": self._table_hits,
+            "table_misses": self._table_misses,
+            "ranked_pool_hits": self._ranked_hits,
+            "ranked_pool_misses": self._ranked_misses,
         }

@@ -49,6 +49,19 @@ class IngressModel(abc.ABC):
         """Whether :meth:`predict` would return at least one link."""
         return bool(self.predict(context, 1, unavailable))
 
+    def group_key(self, context: FlowContext) -> object:
+        """A hashable key under which this model's predictions are constant.
+
+        Two contexts with the same group key (and the same ``k`` and
+        availability prior) are guaranteed the same prediction, so batch
+        callers answer each distinct key once and fan the result out.
+        Models that project contexts onto a feature tuple return that
+        tuple — far fewer distinct keys than flows (paper §3.2: the
+        tuple space is much smaller than the flow space).  The safe
+        default is the full context.
+        """
+        return context
+
 
 class TrainableModel(IngressModel):
     """A model trained by single-pass, byte-weighted observation."""

@@ -36,6 +36,10 @@ class SequentialEnsemble(IngressModel):
                        unavailable: FrozenSet[int] = NO_LINKS) -> bool:
         return any(m.has_prediction(context, unavailable) for m in self.models)
 
+    def group_key(self, context: FlowContext) -> object:
+        """Component keys jointly determine the first model that answers."""
+        return tuple(m.group_key(context) for m in self.models)
+
     def answering_model(self, context: FlowContext,
                         unavailable: FrozenSet[int] = NO_LINKS) -> Optional[str]:
         """Which component would answer this flow (for explainability)."""

@@ -60,5 +60,9 @@ class GeoAugmentedModel(IngressModel):
             return True
         return bool(self.predict(context, 1, unavailable))
 
+    def group_key(self, context: FlowContext) -> object:
+        """The completion is a pure function of the base model's answers."""
+        return self.base.group_key(context)
+
     def size(self) -> int:
         return getattr(self.base, "size", lambda: 0)()

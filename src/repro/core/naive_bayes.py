@@ -147,6 +147,10 @@ class NaiveBayesModel(TrainableModel):
             return any(l not in unavailable for l in self._links)
         return True
 
+    def group_key(self, context: FlowContext) -> object:
+        """Scores depend only on the projected feature tuple."""
+        return self.feature_set.key(context)
+
     # -- introspection ----------------------------------------------------------
 
     def size(self) -> int:

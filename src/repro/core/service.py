@@ -2,22 +2,38 @@
 
 "We designed TIPSY to run online as a prediction service and to retrain
 its models daily" over a rolling training window (3 weeks in §5).  The
-service ingests the hourly aggregated stream, keeps per-day counts,
-rebuilds the model suite when the day rolls over, and serves the two
-queries the CMS needs:
+service ingests the hourly aggregated stream, keeps per-day counts, and
+serves the two queries the CMS needs:
 
-* ``predict`` — top-k ingress links for one flow under an availability
-  prior, answered by the best general-purpose model (the AP-led
-  ensemble, with AL+G for availability-constrained queries);
+* ``predict`` / ``predict_batch`` — top-k ingress links under an
+  availability prior, answered by the best general-purpose model (the
+  AP-led ensemble, with AL+G for availability-constrained queries);
 * ``what_if`` — given flows and a hypothetical withdrawal set, the
   predicted byte spill per link (paper §4.4's safety question).
+
+Retraining is *incremental*: each completed day is projected once onto
+every model's feature grain, and the daily retrain adds the day that
+entered the window and exactly subtracts the day that left — O(one day's
+delta) instead of O(window).  The models use exact (order-free,
+correctly-rounded) accumulation, so the incrementally-maintained suite
+is bit-identical to one rebuilt from scratch; ``retrain(strict_rebuild=
+True)`` performs that from-scratch rebuild as an escape hatch and as the
+reference the equivalence tests compare against.
+
+Serving is *batched*: queries group flows by the answering model's
+feature key and answer each distinct key once (the paper's tuple space
+is far smaller than its flow space), through a bounded LRU memo that is
+invalidated on every retrain.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import (AbstractSet, Dict, FrozenSet, List, Optional, Sequence,
+                    Tuple)
+
+import numpy as np
 
 from ..pipeline.records import AggRecord, FlowContext
 from ..topology.wan import CloudWAN
@@ -28,10 +44,13 @@ from .geo_augment import GeoAugmentedModel
 from .historical import HistoricalModel
 from .training import CountsAccumulator
 
+#: one day's counts projected onto a feature grain: key -> link -> bytes
+GrainProjection = Dict[Tuple[object, ...], Dict[int, float]]
+
 
 @dataclass
 class ServiceConfig:
-    """Rolling-window and retraining policy."""
+    """Rolling-window, retraining and serving policy."""
 
     training_window_days: int = 21
     prediction_k: int = 3
@@ -39,32 +58,88 @@ class ServiceConfig:
     primary_model: str = "Hist_AP/AL/A"
     # model answering availability-constrained (withdrawal) questions
     withdrawal_model: str = "Hist_AL+G"
+    # bounded LRU memo of (model, feature key, availability, k) answers;
+    # invalidated on retrain
+    memo_size: int = 65536
+
+
+class PredictionMemo:
+    """Bounded LRU memo of prediction answers with hit/miss counters."""
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Tuple[object, ...], Tuple[Prediction, ...]]" \
+            = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Tuple[object, ...]
+            ) -> Optional[Tuple[Prediction, ...]]:
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Tuple[object, ...],
+            value: Tuple[Prediction, ...]) -> None:
+        if self.maxsize <= 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every memoized answer (counters are kept)."""
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
 
 
 class TipsyService:
     """Rolling-window, daily-retrained ingress prediction service."""
+
+    #: feature grains of the base model suite, in ensemble order
+    _GRAINS = (FEATURES_AP, FEATURES_AL, FEATURES_A)
 
     def __init__(self, wan: CloudWAN, config: Optional[ServiceConfig] = None):
         self.wan = wan
         self.config = config or ServiceConfig()
         # day -> that day's finest-grain counts
         self._days: "OrderedDict[int, CountsAccumulator]" = OrderedDict()
+        # day -> its counts projected onto each base model's grain,
+        # computed once when the day completes and reused at eviction
+        self._projections: Dict[int, Tuple[GrainProjection, ...]] = {}
         self._current_day: Optional[int] = None
+        self._last_hour: Optional[int] = None
+        # base models in _GRAINS order (AP, AL, A); exact accumulation so
+        # window subtraction is bit-exact
+        self._base: Optional[Tuple[HistoricalModel, ...]] = None
         self._models: Dict[str, IngressModel] = {}
         self._trained_on: Tuple[int, ...] = ()
         self.retrain_count = 0
+        self._memo = PredictionMemo(self.config.memo_size)
 
     # -- ingestion ------------------------------------------------------------
 
     def ingest_hour(self, hour: int, records: Sequence[AggRecord]) -> None:
         """Feed one hour of the aggregated telemetry stream.
 
-        Crossing into a new day triggers a retrain over the rolling
-        window (the paper retrains daily).
+        Hours must arrive in time order (equal hours may repeat, e.g.
+        several telemetry batches of the same hour).  Crossing into a
+        new day triggers a retrain over the rolling window (the paper
+        retrains daily).
         """
-        day = hour // 24
-        if self._current_day is not None and day < self._current_day:
+        if self._last_hour is not None and hour < self._last_hour:
             raise ValueError("telemetry must be ingested in time order")
+        self._last_hour = hour
+        day = hour // 24
         if day != self._current_day:
             self._current_day = day
             self._days.setdefault(day, CountsAccumulator())
@@ -80,30 +155,80 @@ class TipsyService:
 
     # -- training ---------------------------------------------------------------
 
-    def retrain(self) -> None:
-        """Rebuild the model suite from the rolling window's counts."""
-        merged = CountsAccumulator()
-        trained_on = []
-        for day, counts in self._days.items():
-            if day == self._current_day:
-                continue  # today is still accumulating
-            merged.merge(counts)
-            trained_on.append(day)
-        hist_a = HistoricalModel(FEATURES_A)
-        hist_ap = HistoricalModel(FEATURES_AP)
-        hist_al = HistoricalModel(FEATURES_AL)
-        merged.fit([hist_a, hist_ap, hist_al])
-        self._models = {
-            "Hist_A": hist_a,
-            "Hist_AP": hist_ap,
-            "Hist_AL": hist_al,
-            "Hist_AL+G": GeoAugmentedModel(hist_al, self.wan,
-                                           name="Hist_AL+G"),
-            "Hist_AP/AL/A": SequentialEnsemble([hist_ap, hist_al, hist_a],
-                                               name="Hist_AP/AL/A"),
-        }
-        self._trained_on = tuple(trained_on)
+    def _project_day(self, day: int, fresh: bool = False
+                     ) -> Tuple[GrainProjection, ...]:
+        """The day's counts at each base grain (computed once, cached)."""
+        projections = None if fresh else self._projections.get(day)
+        if projections is None:
+            counts = self._days[day]
+            projections = tuple(counts.project(fs) for fs in self._GRAINS)
+            self._projections[day] = projections
+        return projections
+
+    @staticmethod
+    def _apply_projection(model: HistoricalModel,
+                          projection: GrainProjection,
+                          sign: int) -> None:
+        if sign > 0:
+            for key, links in projection.items():
+                for link_id, bytes_ in links.items():
+                    model.observe_aggregate(key, link_id, bytes_)
+        else:
+            for key, links in projection.items():
+                for link_id, bytes_ in links.items():
+                    model.unobserve_aggregate(key, link_id, bytes_)
+
+    def retrain(self, strict_rebuild: bool = False) -> None:
+        """Bring the model suite up to date with the rolling window.
+
+        The default path is incremental: only the days that entered or
+        left the window since the last retrain are applied, as exact
+        deltas, and rankings re-freeze lazily per touched tuple.
+        ``strict_rebuild=True`` discards the suite and rebuilds it from
+        the per-day counts from scratch — the escape hatch, and the
+        reference that incremental maintenance is provably (bit-for-bit)
+        equivalent to.
+        """
+        target = tuple(sorted(
+            day for day in self._days if day != self._current_day))
+        if strict_rebuild or self._base is None:
+            base = tuple(
+                HistoricalModel(fs, exact=True) for fs in self._GRAINS)
+            for day in target:
+                projections = self._project_day(day, fresh=strict_rebuild)
+                for model, projection in zip(base, projections):
+                    self._apply_projection(model, projection, +1)
+            for model in base:
+                model.finalize()
+            self._base = base
+            ap, al, a = base
+            self._models = {
+                "Hist_AP": ap,
+                "Hist_AL": al,
+                "Hist_A": a,
+                "Hist_AL+G": GeoAugmentedModel(al, self.wan,
+                                               name="Hist_AL+G"),
+                "Hist_AP/AL/A": SequentialEnsemble([ap, al, a],
+                                                   name="Hist_AP/AL/A"),
+            }
+        else:
+            trained = set(self._trained_on)
+            wanted = set(target)
+            for day in sorted(wanted - trained):
+                projections = self._project_day(day)
+                for model, projection in zip(self._base, projections):
+                    self._apply_projection(model, projection, +1)
+            for day in sorted(trained - wanted):
+                projections = self._projections[day]
+                for model, projection in zip(self._base, projections):
+                    self._apply_projection(model, projection, -1)
+            # wrapper models hold references to the base suite, so the
+            # served dict needs no rebuild on the incremental path
+        for day in [d for d in self._projections if d not in self._days]:
+            del self._projections[day]
+        self._trained_on = target
         self.retrain_count += 1
+        self._memo.clear()
 
     @property
     def trained_days(self) -> Tuple[int, ...]:
@@ -119,20 +244,74 @@ class TipsyService:
             raise RuntimeError("service has no trained models yet")
         return self._models[name]
 
+    def window_counts(self) -> CountsAccumulator:
+        """The merged finest-grain counts behind the served models."""
+        merged = CountsAccumulator()
+        for day in self._trained_on:
+            counts = self._days.get(day)
+            if counts is not None:
+                merged.merge(counts)
+        return merged
+
     # -- queries ------------------------------------------------------------------
 
-    def predict(self, context: FlowContext, k: Optional[int] = None,
-                unavailable: FrozenSet[int] = NO_LINKS) -> List[Prediction]:
-        """Top-k ingress prediction for one flow."""
-        k = k or self.config.prediction_k
+    def _query_model(self, unavailable: FrozenSet[int]
+                     ) -> Tuple[str, IngressModel]:
         name = (self.config.withdrawal_model if unavailable
                 else self.config.primary_model)
-        return self.model(name).predict(context, k, unavailable)
+        return name, self.model(name)
+
+    def _predict_grouped(self, name: str, model: IngressModel,
+                         group_key: object, context: FlowContext, k: int,
+                         unavailable: FrozenSet[int]
+                         ) -> Tuple[Prediction, ...]:
+        memo_key = (name, group_key, k, unavailable)
+        cached = self._memo.get(memo_key)
+        if cached is None:
+            cached = tuple(model.predict(context, k, unavailable))
+            self._memo.put(memo_key, cached)
+        return cached
+
+    def predict(self, context: FlowContext, k: Optional[int] = None,
+                unavailable: AbstractSet[int] = NO_LINKS) -> List[Prediction]:
+        """Top-k ingress prediction for one flow."""
+        k = k or self.config.prediction_k
+        prior = frozenset(unavailable)
+        name, model = self._query_model(prior)
+        return list(self._predict_grouped(
+            name, model, model.group_key(context), context, k, prior))
+
+    def predict_batch(self, contexts: Sequence[FlowContext],
+                      k: Optional[int] = None,
+                      unavailable: AbstractSet[int] = NO_LINKS,
+                      ) -> List[List[Prediction]]:
+        """Top-k predictions for many flows at once.
+
+        Flows are grouped by the answering model's feature key and each
+        distinct key is answered once — with the memo warm, a batch of a
+        million flows over a few thousand tuples costs a few thousand
+        model lookups plus fan-out.
+        """
+        k = k or self.config.prediction_k
+        prior = frozenset(unavailable)
+        name, model = self._query_model(prior)
+        group_key = model.group_key
+        answers: Dict[object, Tuple[Prediction, ...]] = {}
+        out: List[List[Prediction]] = []
+        for context in contexts:
+            key = group_key(context)
+            cached = answers.get(key)
+            if cached is None:
+                cached = self._predict_grouped(
+                    name, model, key, context, k, prior)
+                answers[key] = cached
+            out.append(list(cached))
+        return out
 
     def what_if(
         self,
         flows: Sequence[Tuple[FlowContext, float]],
-        withdrawn: FrozenSet[int],
+        withdrawn: AbstractSet[int],
         k: Optional[int] = None,
     ) -> Dict[int, float]:
         """Predicted per-link byte spill if ``withdrawn`` links go away.
@@ -142,12 +321,74 @@ class TipsyService:
         is where those bytes land, byte-weighted by prediction scores.
         Bytes with no prediction are returned under link id ``-1``
         (unplaceable).
+
+        Flows are grouped by the withdrawal model's feature key: each
+        distinct key is predicted once and the spill is accumulated with
+        numpy over the grouped byte totals.  See
+        :meth:`what_if_per_flow` for the walk-one-flow-at-a-time
+        reference implementation this is benchmarked against.
         """
         k = k or self.config.prediction_k
+        prior = frozenset(withdrawn)
+        name = self.config.withdrawal_model
+        model = self.model(name)
+        group_key = model.group_key
+        group_index: Dict[object, int] = {}
+        group_keys: List[object] = []
+        group_contexts: List[FlowContext] = []
+        group_bytes: List[float] = []
+        for context, bytes_ in flows:
+            key = group_key(context)
+            index = group_index.get(key)
+            if index is None:
+                group_index[key] = len(group_contexts)
+                group_keys.append(key)
+                group_contexts.append(context)
+                group_bytes.append(bytes_)
+            else:
+                group_bytes[index] += bytes_
+        if not group_contexts:
+            return {}
+        link_ids: List[int] = []
+        link_weights: List[float] = []
+        unplaceable = 0.0
+        for key, context, bytes_ in zip(group_keys, group_contexts,
+                                        group_bytes):
+            predictions = self._predict_grouped(
+                name, model, key, context, k, prior)
+            total = sum(p.score for p in predictions)
+            if total <= 0.0:
+                unplaceable += bytes_
+                continue
+            for p in predictions:
+                link_ids.append(p.link_id)
+                link_weights.append(bytes_ * p.score / total)
+        spill: Dict[int, float] = {}
+        if link_ids:
+            links = np.asarray(link_ids, dtype=np.int64)
+            unique, inverse = np.unique(links, return_inverse=True)
+            sums = np.bincount(inverse.ravel(),
+                               weights=np.asarray(link_weights),
+                               minlength=len(unique))
+            spill = {int(link): float(total_)
+                     for link, total_ in zip(unique.tolist(), sums.tolist())}
+        if unplaceable > 0.0:
+            spill[-1] = spill.get(-1, 0.0) + unplaceable
+        return spill
+
+    def what_if_per_flow(
+        self,
+        flows: Sequence[Tuple[FlowContext, float]],
+        withdrawn: AbstractSet[int],
+        k: Optional[int] = None,
+    ) -> Dict[int, float]:
+        """Reference ``what_if``: one model walk per flow, no batching."""
+        k = k or self.config.prediction_k
+        prior = frozenset(withdrawn)
         model = self.model(self.config.withdrawal_model)
         spill: Dict[int, float] = {}
         for context, bytes_ in flows:
-            predictions = model.predict(context, k, withdrawn)
+            predictions = model.predict(context, k, prior)
             total = sum(p.score for p in predictions)
             if total <= 0.0:
                 spill[-1] = spill.get(-1, 0.0) + bytes_
@@ -156,3 +397,18 @@ class TipsyService:
                 spill[p.link_id] = spill.get(p.link_id, 0.0) + (
                     bytes_ * p.score / total)
         return spill
+
+    # -- observability -------------------------------------------------------------
+
+    def clear_memo(self) -> None:
+        """Drop memoized answers (e.g. before a cold-path measurement)."""
+        self._memo.clear()
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Serving-cache occupancy and efficiency, for logs and benches."""
+        return {
+            "memo_entries": len(self._memo),
+            "memo_hits": self._memo.hits,
+            "memo_misses": self._memo.misses,
+            "memo_evictions": self._memo.evictions,
+        }

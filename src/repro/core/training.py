@@ -10,12 +10,16 @@ model suite costs one streaming pass plus cheap in-memory fits.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, \
+    Tuple
 
 import numpy as np
 
 from ..pipeline.records import AggColumns, AggRecord, FlowContext
 from .base import TrainableModel
+
+if TYPE_CHECKING:  # avoids the pipeline <-> core import cycle at runtime
+    from .features import FeatureSet
 
 
 class CountsAccumulator:
@@ -106,6 +110,55 @@ class CountsAccumulator:
         for key, bytes_ in other.counts.items():
             self.counts[key] = self.counts.get(key, 0.0) + bytes_
 
+    def subtract(self, other: "CountsAccumulator",
+                 refold: Optional[Sequence["CountsAccumulator"]] = None,
+                 ) -> None:
+        """Remove a previously-merged accumulator's contribution.
+
+        Without ``refold`` each key is plainly decremented — exact
+        whenever byte counts are integer-valued (sums below 2**53 are
+        representable), and keys that reach exactly zero are dropped.
+        For arbitrary floats, pass ``refold``: the surviving parts, in
+        merge order.  Every key present in ``other`` is then recomputed
+        as the left-fold over the parts, which is bit-identical to
+        having merged only the survivors from scratch.
+
+        A key in ``other`` that was never merged here is a caller bug
+        and raises ``KeyError``.
+        """
+        other.drain()
+        self.drain()
+        counts = self.counts
+        if refold is None:
+            for key, bytes_ in other.counts.items():
+                value = counts[key] - bytes_
+                if value == 0.0:
+                    del counts[key]
+                else:
+                    counts[key] = value
+            return
+        for part in refold:
+            part.drain()
+        for key in other.counts:
+            if key not in counts:
+                raise KeyError(key)
+            value = 0.0
+            present = False
+            for part in refold:
+                contribution = part.counts.get(key)
+                if contribution is not None:
+                    value = value + contribution if present else contribution
+                    present = True
+            if present:
+                counts[key] = value
+            else:
+                del counts[key]
+
+    def remove(self, context: FlowContext, link_id: int) -> float:
+        """Drop one (context, link) key; returns the bytes it held."""
+        self.drain()
+        return self.counts.pop((context, link_id), 0.0)
+
     def total_bytes(self) -> float:
         self.drain()
         return sum(self.counts.values())
@@ -126,13 +179,33 @@ class CountsAccumulator:
         for model in models:
             model.finalize()
 
+    def project(self, feature_set: "FeatureSet",
+                ) -> Dict[Tuple[object, ...], Dict[int, float]]:
+        """Aggregate the counts onto a model's feature grain.
+
+        Returns ``{feature key: {link_id: bytes}}``, folding contexts in
+        accumulation order — a deterministic function of this
+        accumulator's contents.  Rolling-window trainers project each
+        day once and feed models via ``observe_aggregate``, so a daily
+        delta costs one pass over the day instead of one over the
+        window.
+        """
+        self.drain()
+        key_of = feature_set.key
+        out: Dict[Tuple[object, ...], Dict[int, float]] = {}
+        for (context, link_id), bytes_ in self.counts.items():
+            links = out.setdefault(key_of(context), {})
+            links[link_id] = links.get(link_id, 0.0) + bytes_
+        return out
+
     def actuals(self) -> Dict[FlowContext, Dict[int, float]]:
         """Reshape into the evaluation :data:`ActualsMap` layout."""
         self.drain()
         out: Dict[FlowContext, Dict[int, float]] = {}
         for (context, link_id), bytes_ in self.counts.items():
-            out.setdefault(context, {})[link_id] = (
-                out.get(context, {}).get(link_id, 0.0) + bytes_)
+            # (context, link) keys are unique, so a straight assignment
+            # into the per-context dict suffices — no re-lookup needed
+            out.setdefault(context, {})[link_id] = bytes_
         return out
 
     def top1_links(self) -> Dict[FlowContext, int]:

@@ -1,10 +1,16 @@
 """The ``repro bench`` command: measure, record, compare.
 
-Runs a fixed set of pipeline throughput measurements (telemetry
-streaming, per-record vs vectorised aggregation, columnar training
-counts, and the end-to-end serial vs parallel hourly pipeline), writes
-them as a ``BENCH_<date>.json`` report and compares against the last
-committed baseline of the same profile.
+Two suites, selectable with ``--suite`` (default runs both):
+
+* ``pipeline`` — ingestion throughput: telemetry streaming, per-record
+  vs vectorised aggregation, columnar training counts, and the
+  end-to-end serial vs parallel hourly pipeline.
+* ``serving`` — the online service (paper §4): incremental vs
+  from-scratch daily retrain latency over the rolling window, batched
+  prediction throughput, and batched vs per-flow ``what_if``.
+
+Results are written as a ``BENCH_<date>.json`` report and compared
+against the last committed baseline of the same profile.
 
 Two profiles:
 
@@ -19,10 +25,13 @@ from __future__ import annotations
 import datetime
 import os
 import time
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..core.service import ServiceConfig, TipsyService
+from ..core.training import CountsAccumulator
 from ..experiments.scenario import Scenario, ScenarioParams
 from ..pipeline.aggregation import HourlyAggregator
+from ..pipeline.records import AggRecord
 from .parallel import ParallelPipelineRunner, default_workers
 from .regression import (
     BenchReport,
@@ -34,6 +43,8 @@ from .regression import (
 )
 
 DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
+
+SUITES = ("all", "pipeline", "serving")
 
 
 def _best_of(fn: Callable[[], object], rounds: int = 3) -> float:
@@ -53,29 +64,11 @@ def _bench_scenario(profile: str, seed: int) -> Tuple[Scenario, int]:
     return Scenario(ScenarioParams(seed=seed)), 24
 
 
-def run_bench(
-    profile: str = "full",
-    seed: int = 1,
-    out_dir: str = DEFAULT_BASELINE_DIR,
-    tolerance: float = 0.30,
-    workers: Optional[int] = None,
-    compare: bool = True,
-    save: bool = True,
-    rounds: int = 3,
-    date: Optional[str] = None,
-) -> int:
-    """Run the benchmark suite; returns a process exit code."""
-    if compare and not 0.0 <= tolerance < 1.0:
-        raise SystemExit(
-            f"repro bench: --tolerance must be in [0, 1), got {tolerance}")
+def _bench_pipeline(report: BenchReport, profile: str, seed: int,
+                    n_workers: int, rounds: int) -> None:
+    """Ingestion throughput: streaming, aggregation, counts, pipeline."""
     t_build = time.perf_counter()
     scenario, window = _bench_scenario(profile, seed)
-    n_workers = workers or default_workers()
-    report = BenchReport(
-        date=date or datetime.date.today().isoformat(),
-        profile=profile, meta=default_meta())
-    report.meta["workers"] = str(n_workers)
-    report.meta["seed"] = str(seed)
     print(f"world: {scenario.wan.summary()}, {len(scenario.traffic)} flows "
           f"(built in {time.perf_counter() - t_build:.1f}s); "
           f"measuring {window}h windows, best of {rounds}")
@@ -135,6 +128,127 @@ def run_bench(
                   f"hours/s ({serial_pipe_s / par_s:.1f}x)")
         else:
             print("  pipeline (parallel): skipped (single CPU)")
+    for key, value in scenario.simulator.cache_stats().items():
+        report.meta[f"sim_{key}"] = str(value)
+
+
+def _serving_setup(profile: str, seed: int) -> Tuple[Scenario, int]:
+    """(scenario, training window in days) for the serving suite.
+
+    The full profile uses the paper's 3-week rolling window (§5) over a
+    horizon long enough to measure several post-eviction retrains.
+    """
+    if profile == "smoke":
+        return Scenario(ScenarioParams.small(seed=seed, horizon_days=10)), 7
+    return Scenario(ScenarioParams.medium(seed=seed, horizon_days=24)), 21
+
+
+def _bench_serving(report: BenchReport, profile: str, seed: int,
+                   rounds: int) -> None:
+    """Online service: retrain latency, prediction and what-if rates."""
+    t_build = time.perf_counter()
+    scenario, window_days = _serving_setup(profile, seed)
+    n_hours = scenario.horizon_hours
+    hourly: List[List[AggRecord]] = [
+        scenario.agg_records_for(cols) for cols in scenario.stream(0, n_hours)]
+    print(f"serving: {len(scenario.flow_contexts)} flows, "
+          f"{window_days}-day window, {n_hours // 24} days of telemetry "
+          f"(built in {time.perf_counter() - t_build:.1f}s)")
+
+    service = TipsyService(
+        scenario.wan, ServiceConfig(training_window_days=window_days))
+    # 1. daily retrain latency: time each first-hour-of-day ingest once
+    # the window is full (it carries the eviction + incremental retrain)
+    incremental_times: List[float] = []
+    for hour, records in enumerate(hourly):
+        if hour % 24 == 0 and hour // 24 > window_days:
+            t0 = time.perf_counter()
+            service.ingest_hour(hour, records)
+            incremental_times.append(time.perf_counter() - t0)
+        else:
+            service.ingest_hour(hour, records)
+    incremental_s = min(incremental_times)
+    strict_s = _best_of(
+        lambda: service.retrain(strict_rebuild=True), rounds)
+    report.record("serving_retrain_days_per_s", 1.0 / incremental_s)
+    report.record("serving_strict_retrain_days_per_s", 1.0 / strict_s)
+    print(f"  retrain (incr):     {incremental_s * 1e3:8.1f} ms/day")
+    print(f"  retrain (scratch):  {strict_s * 1e3:8.1f} ms "
+          f"({strict_s / incremental_s:.1f}x slower than incremental)")
+
+    # 2. batched prediction throughput over every known flow
+    contexts = scenario.flow_contexts
+
+    def predict_all() -> None:
+        service.clear_memo()
+        service.predict_batch(contexts)
+
+    predict_s = _best_of(predict_all, rounds)
+    report.record("serving_predictions_per_s", len(contexts) / predict_s)
+    print(f"  predict (batch):    {len(contexts) / predict_s:8.0f} flows/s")
+
+    # 3. what-if spill for the last trained day's flows against the
+    # window's busiest link, batched vs the per-flow reference
+    day = max(service.trained_days)
+    day_counts = CountsAccumulator()
+    for hour in range(day * 24, (day + 1) * 24):
+        day_counts.consume_hour(hour, hourly[hour])
+    flows = [(context, bytes_)
+             for (context, _link), bytes_ in day_counts.counts.items()]
+    link_bytes: Dict[int, float] = {}
+    for (_context, link), bytes_ in day_counts.counts.items():
+        link_bytes[link] = link_bytes.get(link, 0.0) + bytes_
+    withdrawn = frozenset({max(link_bytes, key=lambda l: link_bytes[l])})
+
+    # steady-state serving: the memo persists between queries and is only
+    # invalidated by retrains, so round one warms it and the rest measure
+    # the path the CMS actually sees
+    service.clear_memo()
+    service.what_if(flows, withdrawn)        # warm the memo once
+    batched_s = _best_of(
+        lambda: service.what_if(flows, withdrawn), rounds)
+    serial_s = _best_of(
+        lambda: service.what_if_per_flow(flows, withdrawn), rounds)
+    report.record("serving_what_if_flows_per_s", len(flows) / batched_s)
+    report.record("serving_what_if_serial_flows_per_s",
+                  len(flows) / serial_s)
+    print(f"  what_if (batch):    {len(flows) / batched_s:8.0f} flows/s "
+          f"({serial_s / batched_s:.1f}x over per-flow)")
+    print(f"  what_if (per-flow): {len(flows) / serial_s:8.0f} flows/s")
+    for key, value in service.cache_stats().items():
+        report.meta[f"serving_{key}"] = str(value)
+
+
+def run_bench(
+    profile: str = "full",
+    seed: int = 1,
+    out_dir: str = DEFAULT_BASELINE_DIR,
+    tolerance: float = 0.30,
+    workers: Optional[int] = None,
+    compare: bool = True,
+    save: bool = True,
+    rounds: int = 3,
+    date: Optional[str] = None,
+    suite: str = "all",
+) -> int:
+    """Run the benchmark suite; returns a process exit code."""
+    if suite not in SUITES:
+        raise SystemExit(
+            f"repro bench: --suite must be one of {', '.join(SUITES)}, "
+            f"got {suite!r}")
+    if compare and not 0.0 <= tolerance < 1.0:
+        raise SystemExit(
+            f"repro bench: --tolerance must be in [0, 1), got {tolerance}")
+    n_workers = workers or default_workers()
+    report = BenchReport(
+        date=date or datetime.date.today().isoformat(),
+        profile=profile, meta=default_meta())
+    report.meta["workers"] = str(n_workers)
+    report.meta["seed"] = str(seed)
+    if suite in ("all", "pipeline"):
+        _bench_pipeline(report, profile, seed, n_workers, rounds)
+    if suite in ("all", "serving"):
+        _bench_serving(report, profile, seed, rounds)
 
     exit_code = 0
     if compare:

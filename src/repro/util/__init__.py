@@ -1,5 +1,9 @@
-"""Shared utilities (deterministic hashing, small helpers)."""
+"""Shared utilities (deterministic hashing, exact sums, small helpers)."""
 
+from .exactsum import exact_add, exact_is_zero, exact_sub, exact_value
 from .hashing import geometric_day, mix64, pick, rotation, unit
 
-__all__ = ["geometric_day", "mix64", "pick", "rotation", "unit"]
+__all__ = [
+    "exact_add", "exact_is_zero", "exact_sub", "exact_value",
+    "geometric_day", "mix64", "pick", "rotation", "unit",
+]

@@ -262,3 +262,37 @@ class TestRoutingTableAPI:
         stats = sim.cache_stats()
         assert stats["share_entries"] >= 1
         assert stats["tables_by_seeded"] >= 1
+
+
+class TestCacheStats:
+    def test_all_caches_reported(self, world):
+        _g, wan, sim = world
+        stats = sim.cache_stats()
+        for key in ("share_entries", "visited_entries",
+                    "entry_metro_entries", "removed_peers_entries",
+                    "drift_entries", "ranked_pool_entries",
+                    "primary_share_entries", "tables_by_removed",
+                    "tables_by_seeded", "share_hits", "share_misses",
+                    "table_hits", "table_misses", "ranked_pool_hits",
+                    "ranked_pool_misses"):
+            assert key in stats, key
+            assert stats[key] == 0
+
+    def test_hit_miss_counters(self, world):
+        _g, wan, sim = world
+        state = AdvertisementState(wan)
+        sim.resolve_shares(4, "nyc", 100, 0, state, day=0)
+        stats = sim.cache_stats()
+        assert stats["share_misses"] == 1
+        assert stats["share_hits"] == 0
+        assert stats["drift_entries"] == 1
+        sim.resolve_shares(4, "nyc", 100, 0, state, day=0)
+        stats = sim.cache_stats()
+        assert stats["share_hits"] == 1
+        assert stats["share_misses"] == 1
+        # a different flow re-uses the routing table but not the shares
+        sim.resolve_shares(4, "nyc", 101, 0, state, day=0)
+        stats = sim.cache_stats()
+        assert stats["share_misses"] == 2
+        assert stats["table_hits"] >= 1
+        assert stats["table_misses"] >= 1

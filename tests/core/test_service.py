@@ -105,3 +105,164 @@ class TestQueries:
     def test_query_before_training_raises(self, service):
         with pytest.raises(RuntimeError):
             service.predict(ctx(1))
+
+
+class TestWindowAndOrdering:
+    def test_eviction_at_horizon_boundary(self, service):
+        """A day exactly window_days old stays; one older is evicted."""
+        for day in range(5):
+            service.ingest_hour(day * 24, [rec(day * 24, 0, 1)])
+        # today = 4, window = 3: horizon is day 1; day 0 is gone
+        assert service.trained_days == (1, 2, 3)
+
+    def test_hour_order_enforced_within_day(self, service):
+        service.ingest_hour(5, [])
+        with pytest.raises(ValueError):
+            service.ingest_hour(4, [])
+
+    def test_same_hour_may_repeat(self, service):
+        service.ingest_hour(0, [rec(0, 0, 1, 60.0)])
+        service.ingest_hour(0, [rec(0, 0, 1, 40.0)])
+        service.ingest_hour(24, [])
+        assert service.model("Hist_AP").bytes_for(ctx(1)) == {0: 100.0}
+
+    def test_day_gap_drops_stale_days(self, service):
+        service.ingest_hour(0, [rec(0, 0, 1)])
+        service.ingest_hour(24, [rec(24, 0, 1)])
+        # silence for weeks, then traffic resumes on day 30
+        service.ingest_hour(30 * 24, [rec(30 * 24, 1, 1)])
+        assert service.trained_days == ()
+        assert not service.ready
+
+    def test_retrain_count_tracks_day_rollovers(self, service):
+        assert service.retrain_count == 0
+        for hour in range(0, 72):
+            service.ingest_hour(hour, [])
+        assert service.retrain_count == 3      # days 0, 1, 2 began
+
+    def test_trained_days_sorted_and_exclude_current(self, service):
+        for day in range(4):
+            service.ingest_hour(day * 24, [rec(day * 24, 0, 1)])
+        assert service.trained_days == tuple(sorted(service.trained_days))
+        assert 3 not in service.trained_days   # current day never trains
+
+
+class TestStrictRebuild:
+    def _feed(self, service, days=5):
+        for day in range(days):
+            for link in (0, 1):
+                service.ingest_hour(
+                    day * 24, [rec(day * 24, link, 1, 10.0 + link)])
+
+    def test_strict_rebuild_preserves_answers(self, service):
+        self._feed(service)
+        before = service.predict(ctx(1))
+        count = service.retrain_count
+        service.retrain(strict_rebuild=True)
+        assert service.retrain_count == count + 1
+        assert service.predict(ctx(1)) == before
+
+    def test_strict_rebuild_matches_incremental_counts(self, service):
+        self._feed(service)
+        incremental = service.model("Hist_AP").bytes_for(ctx(1))
+        service.retrain(strict_rebuild=True)
+        assert service.model("Hist_AP").bytes_for(ctx(1)) == incremental
+
+
+class TestBatchedQueries:
+    def _train(self, service):
+        service.ingest_hour(0, [rec(0, 0, 1, 100.0), rec(0, 1, 1, 30.0),
+                                rec(0, 0, 2, 50.0), rec(0, 2, 3, 10.0)])
+        service.ingest_hour(24, [])
+
+    def test_predict_batch_matches_predict(self, service):
+        self._train(service)
+        contexts = [ctx(1), ctx(2), ctx(3), ctx(1), ctx(99)]
+        batch = service.predict_batch(contexts)
+        assert batch == [service.predict(c) for c in contexts]
+
+    def test_predict_batch_with_prior(self, service):
+        self._train(service)
+        batch = service.predict_batch([ctx(1), ctx(1)],
+                                      unavailable=frozenset({0}))
+        assert batch[0] == batch[1]
+        assert all(p.link_id != 0 for p in batch[0])
+
+    def test_what_if_matches_per_flow_reference(self, service):
+        self._train(service)
+        flows = [(ctx(1), 1000.0), (ctx(2), 500.0), (ctx(3), 250.0),
+                 (ctx(1), 125.0)]
+        withdrawn = frozenset({0})
+        batched = service.what_if(flows, withdrawn)
+        reference = service.what_if_per_flow(flows, withdrawn)
+        assert set(batched) == set(reference)
+        for link, bytes_ in reference.items():
+            assert batched[link] == pytest.approx(bytes_)
+
+    def test_what_if_empty_flows(self, service):
+        self._train(service)
+        assert service.what_if([], frozenset({0})) == {}
+
+    def test_what_if_unplaceable_bytes_under_minus_one(self, wan):
+        service = TipsyService(wan)
+        service.ingest_hour(0, [rec(0, 0, 9, 70.0), rec(0, 1, 8, 25.0)])
+        service.ingest_hour(24, [])
+        spill = service.what_if(
+            [(ctx(9), 100.0), (ctx(9), 11.0), (ctx(8), 5.0)],
+            withdrawn=frozenset(wan.link_ids))
+        assert spill == {-1: 116.0}
+        assert service.what_if_per_flow(
+            [(ctx(9), 100.0), (ctx(9), 11.0), (ctx(8), 5.0)],
+            withdrawn=frozenset(wan.link_ids)) == {-1: 116.0}
+
+
+class TestPredictionMemo:
+    def _train(self, service):
+        service.ingest_hour(0, [rec(0, 0, 1, 100.0), rec(0, 1, 1, 30.0)])
+        service.ingest_hour(24, [])
+
+    def test_repeat_queries_hit_memo(self, service):
+        self._train(service)
+        service.predict(ctx(1))
+        stats = service.cache_stats()
+        service.predict(ctx(1))
+        after = service.cache_stats()
+        assert after["memo_hits"] == stats["memo_hits"] + 1
+        assert after["memo_misses"] == stats["memo_misses"]
+
+    def test_retrain_invalidates_memo(self, service):
+        self._train(service)
+        service.predict(ctx(1))
+        assert service.cache_stats()["memo_entries"] == 1
+        service.ingest_hour(48, [])    # day rollover -> retrain
+        assert service.cache_stats()["memo_entries"] == 0
+
+    def test_memo_respects_bound(self, wan):
+        service = TipsyService(
+            wan, ServiceConfig(training_window_days=3, memo_size=2))
+        records = [rec(0, 0, prefix, 10.0) for prefix in range(5)]
+        service.ingest_hour(0, records)
+        service.ingest_hour(24, [])
+        for prefix in range(5):
+            service.predict(ctx(prefix))
+        stats = service.cache_stats()
+        assert stats["memo_entries"] == 2
+        assert stats["memo_evictions"] == 3
+
+    def test_distinct_priors_memoized_separately(self, service):
+        self._train(service)
+        a = service.predict(ctx(1), unavailable=frozenset({0}))
+        b = service.predict(ctx(1), unavailable=frozenset({1}))
+        assert a != b
+
+    def test_mutable_set_prior_accepted(self, service):
+        # callers (the CMS) naturally build plain sets; the memo key must
+        # not choke on them
+        self._train(service)
+        assert (service.predict(ctx(1), unavailable={0})
+                == service.predict(ctx(1), unavailable=frozenset({0})))
+        flows = [(ctx(1), 50.0)]
+        assert (service.what_if(flows, withdrawn={0})
+                == service.what_if_per_flow(flows, withdrawn={0}))
+        batch = service.predict_batch([ctx(1)], unavailable={0})
+        assert batch[0] == service.predict(ctx(1), unavailable=frozenset({0}))

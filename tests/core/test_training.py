@@ -133,3 +133,99 @@ class TestColumnarAccumulation:
                                    empty_i, empty_i, np.empty(0)))
         acc.drain()
         assert len(acc) == 0
+
+
+class TestSubtractAndRemove:
+    def test_subtract_inverts_merge_for_integer_bytes(self):
+        base = CountsAccumulator()
+        base.add(ctx(1), 5, 10.0)
+        day = CountsAccumulator()
+        day.add(ctx(1), 5, 3.0)
+        day.add(ctx(2), 7, 4.0)
+        base.merge(day)
+        base.subtract(day)
+        assert base.counts == {(ctx(1), 5): 10.0}
+
+    def test_subtract_drops_keys_reaching_zero(self):
+        base = CountsAccumulator()
+        day = CountsAccumulator()
+        day.add(ctx(1), 5, 2.0)
+        base.merge(day)
+        base.subtract(day)
+        assert len(base) == 0
+
+    def test_subtract_unknown_key_raises(self):
+        import pytest
+
+        base = CountsAccumulator()
+        base.add(ctx(1), 5, 1.0)
+        other = CountsAccumulator()
+        other.add(ctx(9), 5, 1.0)
+        with pytest.raises(KeyError):
+            base.subtract(other)
+
+    def test_subtract_with_refold_is_bit_identical(self):
+        """Refolding survivors matches merging them from scratch."""
+        days = []
+        for day_index in range(4):
+            day = CountsAccumulator()
+            # non-integral bytes: plain -= would round differently
+            day.add(ctx(1), 5, 0.1 + day_index * 1.7)
+            day.add(ctx(2), 7, 0.3 / (day_index + 1))
+            days.append(day)
+        window = CountsAccumulator()
+        for day in days:
+            window.merge(day)
+        window.subtract(days[0], refold=days[1:])
+        expected = CountsAccumulator()
+        for day in days[1:]:
+            expected.merge(day)
+        assert window.counts == expected.counts
+
+    def test_subtract_with_refold_drops_vanished_keys(self):
+        only_day0 = CountsAccumulator()
+        only_day0.add(ctx(3), 9, 2.5)
+        day1 = CountsAccumulator()
+        day1.add(ctx(1), 5, 1.0)
+        window = CountsAccumulator()
+        window.merge(only_day0)
+        window.merge(day1)
+        window.subtract(only_day0, refold=[day1])
+        assert window.counts == {(ctx(1), 5): 1.0}
+
+    def test_remove_pops_one_key(self):
+        acc = CountsAccumulator()
+        acc.add(ctx(1), 5, 10.0)
+        acc.add(ctx(1), 7, 2.0)
+        assert acc.remove(ctx(1), 5) == 10.0
+        assert acc.remove(ctx(1), 5) == 0.0   # already gone
+        assert acc.counts == {(ctx(1), 7): 2.0}
+
+
+class TestProjection:
+    def test_project_groups_by_feature_key(self):
+        acc = CountsAccumulator()
+        acc.add(ctx(1), 5, 10.0)          # same A-key as the next two
+        acc.add(ctx(2), 5, 4.0)
+        acc.add(ctx(2), 7, 1.0)
+        acc.add(ctx(1, asn=2), 5, 8.0)    # different AS
+        projection = acc.project(FEATURES_A)
+        assert projection == {
+            (1, 0, 0): {5: 14.0, 7: 1.0},
+            (2, 0, 0): {5: 8.0},
+        }
+
+    def test_project_matches_observe_path(self):
+        """Feeding a projection reproduces per-record observe() exactly."""
+        acc = CountsAccumulator()
+        acc.add(ctx(1), 5, 0.7)
+        acc.add(ctx(2), 5, 1.9)
+        acc.add(ctx(3), 7, 2.2)
+        reference = HistoricalModel(FEATURES_A)
+        acc.fit([reference])
+        via_projection = HistoricalModel(FEATURES_A)
+        for key, links in acc.project(FEATURES_A).items():
+            for link_id, bytes_ in links.items():
+                via_projection.observe_aggregate(key, link_id, bytes_)
+        via_projection.finalize()
+        assert via_projection.rankings() == reference.rankings()

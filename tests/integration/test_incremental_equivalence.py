@@ -1,0 +1,124 @@
+"""Equivalence gate for incremental rolling-window retraining.
+
+The service maintains its model suite by adding the day that entered the
+window and exactly subtracting the day that evicted.  This test drives a
+simulated multi-week stream — long enough for the window to evict many
+days — and proves at several checkpoints that the incrementally
+maintained models are *bit-identical* (same counts, same rankings, same
+scores) to models rebuilt from scratch over the same window.
+
+Byte values are deliberately non-integral: with plain float arithmetic,
+``(a + b) - a != b`` in general, so this gate fails for any
+approximately-subtractive scheme and passes only for exact accumulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.service import ServiceConfig, TipsyService
+from repro.pipeline import AggRecord, FlowContext
+from repro.topology import (
+    CloudWAN,
+    DestPrefix,
+    MetroCatalog,
+    PeeringLink,
+    Region,
+)
+
+BASE_MODELS = ("Hist_AP", "Hist_AL", "Hist_A")
+N_DAYS = 30
+WINDOW_DAYS = 7
+CHECKPOINT_DAYS = (1, 5, 8, 13, 21, 29)   # filling, full, long-after
+
+
+@pytest.fixture(scope="module")
+def wan():
+    metros = MetroCatalog()
+    links = [PeeringLink(i, 100 + i % 3, m, f"{m}-er1", 100.0)
+             for i, m in enumerate(("iad", "nyc", "atl", "sea", "lax"))]
+    return CloudWAN(8075, links, [Region("r", "iad")],
+                    [DestPrefix(0, "100.64.0.0/24", "r", "web")], metros)
+
+
+def synthetic_hours(n_days, seed=20260806):
+    """Per-hour AggRecord batches with awkward float byte counts."""
+    rng = np.random.default_rng(seed)
+    hours = []
+    for hour in range(n_days * 24):
+        n = int(rng.integers(5, 30))
+        links = rng.integers(0, 5, size=n)
+        asns = rng.integers(1, 6, size=n)
+        prefixes = rng.integers(1, 40, size=n)
+        locs = rng.integers(0, 4, size=n)
+        regions = rng.integers(0, 3, size=n)
+        services = rng.integers(0, 2, size=n)
+        # mix tiny and huge magnitudes so naive subtraction visibly drifts
+        bytes_ = np.exp(rng.uniform(-3.0, 21.0, size=n))
+        hours.append([
+            AggRecord(hour, int(links[i]), int(asns[i]), int(prefixes[i]),
+                      int(locs[i]), int(regions[i]), int(services[i]),
+                      float(bytes_[i]))
+            for i in range(n)
+        ])
+    return hours
+
+
+def assert_suites_identical(incremental, reference):
+    assert incremental.trained_days == reference.trained_days
+    for name in BASE_MODELS:
+        left = incremental.model(name)
+        right = reference.model(name)
+        # identical (tuple, link) -> bytes maps, bit for bit
+        assert left._counts == right._counts, name
+        # identical rankings: same order, same link ids, same scores
+        assert left.rankings() == right.rankings(), name
+
+
+class TestIncrementalEquivalence:
+    def test_bit_identical_over_multi_week_window(self, wan):
+        hours = synthetic_hours(N_DAYS)
+        config = ServiceConfig(training_window_days=WINDOW_DAYS)
+        incremental = TipsyService(wan, config)
+        reference = TipsyService(wan, config)
+        checkpoints = 0
+        for hour, records in enumerate(hours):
+            incremental.ingest_hour(hour, records)
+            reference.ingest_hour(hour, records)
+            day, hour_of_day = divmod(hour, 24)
+            if day in CHECKPOINT_DAYS and hour_of_day == 23:
+                # the reference is rebuilt from scratch; the incremental
+                # service has only ever applied day deltas
+                reference.retrain(strict_rebuild=True)
+                assert_suites_identical(incremental, reference)
+                checkpoints += 1
+        assert checkpoints == len(CHECKPOINT_DAYS)
+        # the window really did roll: early days are long gone
+        assert min(incremental.trained_days) == N_DAYS - 1 - WINDOW_DAYS
+
+    def test_incremental_continues_after_strict_rebuild(self, wan):
+        hours = synthetic_hours(12, seed=7)
+        config = ServiceConfig(training_window_days=4)
+        service = TipsyService(wan, config)
+        reference = TipsyService(wan, config)
+        for hour, records in enumerate(hours):
+            service.ingest_hour(hour, records)
+            reference.ingest_hour(hour, records)
+            if hour == 6 * 24:
+                # escape hatch mid-stream on one service only
+                service.retrain(strict_rebuild=True)
+        reference.retrain(strict_rebuild=True)
+        assert_suites_identical(service, reference)
+
+    def test_naive_float_subtraction_would_fail(self):
+        """Documents why exact partials are needed at all: the same
+        add-then-subtract walk with plain floats does not return to the
+        starting value."""
+        rng = np.random.default_rng(3)
+        values = np.exp(rng.uniform(-3.0, 21.0, size=200)).tolist()
+        total = 0.0
+        for value in values:
+            total += value
+        kept = values[0]
+        for value in values[1:]:
+            total -= value
+        assert total != kept

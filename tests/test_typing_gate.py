@@ -24,7 +24,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: packages under the strict ratchet — keep in sync with the
 #: [[tool.mypy.overrides]] strict block in pyproject.toml
 STRICT_PACKAGES = ("util", "topology", "bgp", "pipeline", "perf",
-                   "analysis")
+                   "analysis", "core")
 
 #: typing names that are meaningless without parameters
 GENERIC_NAMES = frozenset({
