@@ -12,6 +12,9 @@ Commands:
   report and compare against the committed baseline.
 * ``lint`` — run the determinism & parallel-safety static checks
   (``docs/static-analysis.md``).
+* ``obs`` — run an instrumented example workload and export its metrics
+  snapshot (text / JSON / Prometheus) and span trace
+  (``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -155,6 +158,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         save=not args.no_save,
         rounds=args.rounds,
         suite=args.suite,
+        trace_out=args.trace_out,
     )
 
 
@@ -164,7 +168,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def cmd_obs(args: argparse.Namespace) -> int:
+    from .obs.cli import run_obs
+
+    return run_obs(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full CLI parser (also introspected by the docs checker)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="TIPSY reproduction — predict where traffic will "
@@ -224,12 +235,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="do not write a report file")
     p_bench.set_defaults(func=cmd_bench)
 
+    p_bench.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="dump the bench run's span tree as JSON")
+
     p_lint = sub.add_parser(
         "lint", help="determinism & parallel-safety static checks")
     from .analysis.cli import add_lint_arguments
     add_lint_arguments(p_lint)
     p_lint.set_defaults(func=cmd_lint)
 
+    p_obs = sub.add_parser(
+        "obs", help="run an instrumented example and export its metrics")
+    from .obs.cli import add_obs_arguments
+    add_obs_arguments(p_obs)
+    p_obs.set_defaults(func=cmd_obs)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -39,6 +39,8 @@ RULES: Dict[str, Tuple[str, str]] = {
               "wall-clock read inside a determinism-critical package"),
     "RA301": ("mutable-default-arg",
               "mutable default argument value shared across calls"),
+    "RA401": ("missing-module-docstring",
+              "public module does not open with a docstring"),
 }
 
 #: package directories whose hourly code must be a pure function of
@@ -216,9 +218,11 @@ def apply_suppressions(source: str,
 
 def checker_classes() -> List[Type[Checker]]:
     """All registered checker classes (imported lazily to avoid cycles)."""
+    from .docstrings import ModuleDocstringChecker
     from .hygiene import HotPathClockChecker, MutableDefaultChecker
     from .parallel import PoolBoundaryChecker
     from .rng import RngDisciplineChecker
 
     return [RngDisciplineChecker, PoolBoundaryChecker,
-            HotPathClockChecker, MutableDefaultChecker]
+            HotPathClockChecker, MutableDefaultChecker,
+            ModuleDocstringChecker]

@@ -1,4 +1,15 @@
-"""BGP substrate: messages, RIBs, policy, propagation, ingress simulation."""
+"""BGP substrate: messages, RIBs, policy, propagation, ingress simulation.
+
+This package plays the role of "the Internet" in the reproduction:
+Gao–Rexford route selection and export policies, route propagation over
+the AS graph, and the :class:`~repro.bgp.simulator.IngressSimulator`,
+which decides — as ground truth — which WAN link each flow actually
+enters through, including hot-potato shifts after withdrawals and
+outages.  The policies here stand in for other ASes' confidential
+routing configuration and are deliberately invisible to the models in
+:mod:`repro.core` (see the ground-truth wall in
+``docs/architecture.md``).
+"""
 
 from .messages import Announcement, Message, Origin, Route, Withdrawal
 from .policy import best_route, best_routes, compare, sort_key

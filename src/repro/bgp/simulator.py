@@ -44,6 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..obs import runtime as obs
 from ..topology.asgraph import ASGraph, Pocket
 from ..topology.wan import CloudWAN, PeeringLink
 from ..util.hashing import geometric_day, mix64, rotation, unit
@@ -520,3 +521,17 @@ class IngressSimulator:
             "ranked_pool_hits": self._ranked_hits,
             "ranked_pool_misses": self._ranked_misses,
         }
+
+    def export_gauges(self) -> None:
+        """Publish :meth:`cache_stats` to the obs registry as gauges
+        (``bgp.simulator.*``); a no-op while instrumentation is off.
+
+        Gauges rather than counters on purpose: the snapshot reflects
+        this simulator instance's current state, and re-exporting must
+        overwrite, not accumulate.
+        """
+        if not obs.enabled():
+            return
+        obs.set_gauges({key: float(value)
+                        for key, value in self.cache_stats().items()},
+                       prefix="bgp.simulator.")

@@ -1,4 +1,13 @@
-"""TIPSY core: feature sets, prediction models, accuracy metric, training."""
+"""TIPSY core: feature sets, prediction models, accuracy metric, training.
+
+The paper's contribution: byte-weighted historical models (Hist_A /
+Hist_AP / Hist_AL), specific-to-general ensembles, the geographic
+AL+G completion for never-seen withdrawals, Naive Bayes baselines and
+the oracle, all scored by byte-weighted top-k accuracy (§5.1.2).  Also
+home to :class:`~repro.core.service.TipsyService`, the online §4
+surface: rolling-window ingestion, incremental daily retraining, and
+batched ``predict_batch`` / ``what_if`` serving with a bounded memo.
+"""
 
 from .features import (
     ALL_FEATURE_SETS,

@@ -35,6 +35,7 @@ from typing import (AbstractSet, Dict, FrozenSet, List, Optional, Sequence,
 
 import numpy as np
 
+from ..obs import runtime as obs
 from ..pipeline.records import AggRecord, FlowContext
 from ..topology.wan import CloudWAN
 from .base import NO_LINKS, IngressModel, Prediction
@@ -146,6 +147,9 @@ class TipsyService:
             self._evict_old(day)
             self.retrain()
         self._days[day].consume_hour(hour, records)
+        if obs.enabled():
+            obs.count("service.ingest.hours")
+            obs.count("service.ingest.records", float(len(records)))
 
     def _evict_old(self, today: int) -> None:
         horizon = today - self.config.training_window_days
@@ -189,6 +193,14 @@ class TipsyService:
         reference that incremental maintenance is provably (bit-for-bit)
         equivalent to.
         """
+        with obs.timed("service.retrain"):
+            self._retrain(strict_rebuild)
+        if obs.enabled():
+            obs.count("service.retrain.strict" if strict_rebuild
+                      else "service.retrain.incremental")
+            self.export_gauges()
+
+    def _retrain(self, strict_rebuild: bool) -> None:
         target = tuple(sorted(
             day for day in self._days if day != self._current_day))
         if strict_rebuild or self._base is None:
@@ -298,14 +310,19 @@ class TipsyService:
         group_key = model.group_key
         answers: Dict[object, Tuple[Prediction, ...]] = {}
         out: List[List[Prediction]] = []
-        for context in contexts:
-            key = group_key(context)
-            cached = answers.get(key)
-            if cached is None:
-                cached = self._predict_grouped(
-                    name, model, key, context, k, prior)
-                answers[key] = cached
-            out.append(list(cached))
+        with obs.timed("service.predict_batch"):
+            for context in contexts:
+                key = group_key(context)
+                cached = answers.get(key)
+                if cached is None:
+                    cached = self._predict_grouped(
+                        name, model, key, context, k, prior)
+                    answers[key] = cached
+                out.append(list(cached))
+        if obs.enabled():
+            obs.count("service.predict.batches")
+            obs.count("service.predict.flows", float(len(out)))
+            obs.count("service.predict.groups", float(len(answers)))
         return out
 
     def what_if(
@@ -328,53 +345,58 @@ class TipsyService:
         :meth:`what_if_per_flow` for the walk-one-flow-at-a-time
         reference implementation this is benchmarked against.
         """
-        k = k or self.config.prediction_k
-        prior = frozenset(withdrawn)
-        name = self.config.withdrawal_model
-        model = self.model(name)
-        group_key = model.group_key
-        group_index: Dict[object, int] = {}
-        group_keys: List[object] = []
-        group_contexts: List[FlowContext] = []
-        group_bytes: List[float] = []
-        for context, bytes_ in flows:
-            key = group_key(context)
-            index = group_index.get(key)
-            if index is None:
-                group_index[key] = len(group_contexts)
-                group_keys.append(key)
-                group_contexts.append(context)
-                group_bytes.append(bytes_)
-            else:
-                group_bytes[index] += bytes_
-        if not group_contexts:
-            return {}
-        link_ids: List[int] = []
-        link_weights: List[float] = []
-        unplaceable = 0.0
-        for key, context, bytes_ in zip(group_keys, group_contexts,
-                                        group_bytes):
-            predictions = self._predict_grouped(
-                name, model, key, context, k, prior)
-            total = sum(p.score for p in predictions)
-            if total <= 0.0:
-                unplaceable += bytes_
-                continue
-            for p in predictions:
-                link_ids.append(p.link_id)
-                link_weights.append(bytes_ * p.score / total)
-        spill: Dict[int, float] = {}
-        if link_ids:
-            links = np.asarray(link_ids, dtype=np.int64)
-            unique, inverse = np.unique(links, return_inverse=True)
-            sums = np.bincount(inverse.ravel(),
-                               weights=np.asarray(link_weights),
-                               minlength=len(unique))
-            spill = {int(link): float(total_)
-                     for link, total_ in zip(unique.tolist(), sums.tolist())}
-        if unplaceable > 0.0:
-            spill[-1] = spill.get(-1, 0.0) + unplaceable
-        return spill
+        if obs.enabled():
+            obs.count("service.what_if.calls")
+            obs.count("service.what_if.flows", float(len(flows)))
+        with obs.timed("service.what_if"):
+            k = k or self.config.prediction_k
+            prior = frozenset(withdrawn)
+            name = self.config.withdrawal_model
+            model = self.model(name)
+            group_key = model.group_key
+            group_index: Dict[object, int] = {}
+            group_keys: List[object] = []
+            group_contexts: List[FlowContext] = []
+            group_bytes: List[float] = []
+            for context, bytes_ in flows:
+                key = group_key(context)
+                index = group_index.get(key)
+                if index is None:
+                    group_index[key] = len(group_contexts)
+                    group_keys.append(key)
+                    group_contexts.append(context)
+                    group_bytes.append(bytes_)
+                else:
+                    group_bytes[index] += bytes_
+            if not group_contexts:
+                return {}
+            link_ids: List[int] = []
+            link_weights: List[float] = []
+            unplaceable = 0.0
+            for key, context, bytes_ in zip(group_keys, group_contexts,
+                                            group_bytes):
+                predictions = self._predict_grouped(
+                    name, model, key, context, k, prior)
+                total = sum(p.score for p in predictions)
+                if total <= 0.0:
+                    unplaceable += bytes_
+                    continue
+                for p in predictions:
+                    link_ids.append(p.link_id)
+                    link_weights.append(bytes_ * p.score / total)
+            spill: Dict[int, float] = {}
+            if link_ids:
+                links = np.asarray(link_ids, dtype=np.int64)
+                unique, inverse = np.unique(links, return_inverse=True)
+                sums = np.bincount(inverse.ravel(),
+                                   weights=np.asarray(link_weights),
+                                   minlength=len(unique))
+                spill = {int(link): float(total_)
+                         for link, total_
+                         in zip(unique.tolist(), sums.tolist())}
+            if unplaceable > 0.0:
+                spill[-1] = spill.get(-1, 0.0) + unplaceable
+            return spill
 
     def what_if_per_flow(
         self,
@@ -412,3 +434,18 @@ class TipsyService:
             "memo_misses": self._memo.misses,
             "memo_evictions": self._memo.evictions,
         }
+
+    def export_gauges(self) -> None:
+        """Publish serving state to the obs registry (no-op when off).
+
+        Called automatically at the end of every retrain; callers that
+        want fresher memo numbers between retrains (the CLI, benches)
+        may call it directly.
+        """
+        if not obs.enabled():
+            return
+        obs.set_gauges({key: float(value)
+                        for key, value in self.cache_stats().items()},
+                       prefix="service.")
+        obs.gauge_set("service.trained_days", float(len(self._trained_on)))
+        obs.gauge_set("service.retrain_count", float(self.retrain_count))

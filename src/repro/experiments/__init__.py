@@ -1,4 +1,13 @@
-"""Scenarios and the paper's evaluation harness."""
+"""Scenarios and the paper's evaluation harness.
+
+Ties the world together: :class:`~repro.experiments.scenario.Scenario`
+builds a complete synthetic universe (topology + BGP + traffic +
+outage schedule) from one seed, streams its hourly telemetry, and the
+:class:`~repro.experiments.runner.EvaluationRunner` reproduces the
+paper's §5 evaluation — Tables 4–7, the figures, and the §2 cascading
+incident replay — on top of exactly the pipeline and models that the
+online service uses.
+"""
 
 from .scenario import HourColumns, Scenario, ScenarioParams
 from .runner import (

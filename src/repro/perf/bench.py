@@ -23,6 +23,7 @@ Two profiles:
 from __future__ import annotations
 
 import datetime
+import json
 import os
 import time
 from typing import Callable, Dict, List, Optional, Tuple
@@ -30,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..core.service import ServiceConfig, TipsyService
 from ..core.training import CountsAccumulator
 from ..experiments.scenario import Scenario, ScenarioParams
+from ..obs import runtime as obs
 from ..pipeline.aggregation import HourlyAggregator
 from ..pipeline.records import AggRecord
 from .parallel import ParallelPipelineRunner, default_workers
@@ -128,6 +130,7 @@ def _bench_pipeline(report: BenchReport, profile: str, seed: int,
                   f"hours/s ({serial_pipe_s / par_s:.1f}x)")
         else:
             print("  pipeline (parallel): skipped (single CPU)")
+    scenario.simulator.export_gauges()
     for key, value in scenario.simulator.cache_stats().items():
         report.meta[f"sim_{key}"] = str(value)
 
@@ -215,6 +218,7 @@ def _bench_serving(report: BenchReport, profile: str, seed: int,
     print(f"  what_if (batch):    {len(flows) / batched_s:8.0f} flows/s "
           f"({serial_s / batched_s:.1f}x over per-flow)")
     print(f"  what_if (per-flow): {len(flows) / serial_s:8.0f} flows/s")
+    service.export_gauges()
     for key, value in service.cache_stats().items():
         report.meta[f"serving_{key}"] = str(value)
 
@@ -230,6 +234,7 @@ def run_bench(
     rounds: int = 3,
     date: Optional[str] = None,
     suite: str = "all",
+    trace_out: Optional[str] = None,
 ) -> int:
     """Run the benchmark suite; returns a process exit code."""
     if suite not in SUITES:
@@ -245,10 +250,23 @@ def run_bench(
         profile=profile, meta=default_meta())
     report.meta["workers"] = str(n_workers)
     report.meta["seed"] = str(seed)
+    # benches run instrumented: the report carries the run's metrics
+    # snapshot in its meta, so a baseline documents cache efficiency and
+    # stage activity alongside the throughput numbers it defends
+    obs.enable(fresh=True)
     if suite in ("all", "pipeline"):
-        _bench_pipeline(report, profile, seed, n_workers, rounds)
+        with obs.span("bench.pipeline"):
+            _bench_pipeline(report, profile, seed, n_workers, rounds)
     if suite in ("all", "serving"):
-        _bench_serving(report, profile, seed, rounds)
+        with obs.span("bench.serving"):
+            _bench_serving(report, profile, seed, rounds)
+    report.meta["obs"] = json.dumps(
+        obs.snapshot().to_json(), sort_keys=True, separators=(",", ":"))
+    if trace_out is not None:
+        with open(trace_out, "w", encoding="utf-8") as handle:
+            json.dump(obs.tracer().to_json(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote trace to {trace_out}")
 
     exit_code = 0
     if compare:

@@ -32,6 +32,8 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from ..core.training import CountsAccumulator
+from ..obs import runtime as obs
+from ..obs.metrics import MetricsSnapshot
 from ..pipeline.aggregation import CompressionStats, HourlyAggregator
 from ..pipeline.records import AggColumns, AggRecord
 from ..experiments.scenario import Scenario, ScenarioParams
@@ -42,13 +44,15 @@ if TYPE_CHECKING:
     from ..experiments.runner import _StreamAccumulator
 
 #: what one `_collect_shard` call ships back to the parent: the shard
-#: bounds plus the accumulator's by-downset/total byte dicts and its
-#: per-link matrix slice
+#: bounds plus the accumulator's by-downset/total byte dicts, its
+#: per-link matrix slice, and the worker's obs metrics delta (None when
+#: instrumentation is off)
 ShardResult = Tuple[
     int, int,
     Dict[FrozenSet[int], Dict[Tuple[int, int], float]],
     Dict[Tuple[int, int], float],
     "np.ndarray",
+    Optional[MetricsSnapshot],
 ]
 
 
@@ -66,7 +70,12 @@ _PARENT_SCENARIO: Optional[Scenario] = None
 _WORKER: Dict[str, object] = {}
 
 
-def _init_worker(params: ScenarioParams) -> None:
+def _init_worker(params: ScenarioParams, obs_enabled: bool = False) -> None:
+    if obs_enabled:
+        # each worker owns a fresh registry (a forked child inherits the
+        # parent's copy-on-write and must not re-report its counts); the
+        # shard functions ship per-task deltas back for the parent to merge
+        obs.enable(fresh=True)
     scenario = _PARENT_SCENARIO
     if scenario is None or scenario.params != params:
         scenario = Scenario(params)
@@ -94,15 +103,34 @@ def _aggregate_span(scenario: Scenario, aggregator: HourlyAggregator,
     serial path and the worker processes — one code path, one result)."""
     for cols in scenario.stream(start_hour, end_hour):
         arrays = scenario.ipfix_columns_for(cols, use_sampled=use_sampled)
-        yield aggregator.aggregate_hour_columns(cols.hour, *arrays)
+        with obs.timed("pipeline.aggregate_hour"):
+            columns = aggregator.aggregate_hour_columns(cols.hour, *arrays)
+        yield columns
+
+
+def _obs_delta_start() -> Optional[MetricsSnapshot]:
+    """Pre-task registry snapshot (None when instrumentation is off)."""
+    if not obs.enabled():
+        return None
+    return obs.snapshot()
+
+
+def _obs_delta_finish(
+        before: Optional[MetricsSnapshot]) -> Optional[MetricsSnapshot]:
+    """This task's metrics activity, for the parent to merge."""
+    if before is None:
+        return None
+    return obs.snapshot().diff(before)
 
 
 def _aggregate_shard(
     task: Tuple[int, int, bool, bool],
-) -> Tuple[List[AggColumns], Tuple[int, int, int]]:
+) -> Tuple[List[AggColumns], Tuple[int, int, int],
+           Optional[MetricsSnapshot]]:
     start_hour, end_hour, use_sampled, strict = task
     scenario: Scenario = _WORKER["scenario"]  # type: ignore[assignment]
     aggregator = _worker_aggregator(scenario, strict)
+    obs_before = _obs_delta_start()
     before = (aggregator.stats.records_in, aggregator.stats.records_out,
               aggregator.stats.records_dropped)
     out = list(_aggregate_span(scenario, aggregator, start_hour, end_hour,
@@ -110,7 +138,7 @@ def _aggregate_shard(
     delta = (aggregator.stats.records_in - before[0],
              aggregator.stats.records_out - before[1],
              aggregator.stats.records_dropped - before[2])
-    return out, delta
+    return out, delta, _obs_delta_finish(obs_before)
 
 
 def _collect_shard(task: Tuple[int, int]) -> ShardResult:
@@ -119,12 +147,14 @@ def _collect_shard(task: Tuple[int, int]) -> ShardResult:
 
     start_hour, end_hour = task
     scenario: Scenario = _WORKER["scenario"]  # type: ignore[assignment]
+    obs_before = _obs_delta_start()
     acc = _StreamAccumulator(len(scenario.wan.links),
                              end_hour - start_hour, start_hour)
     for cols in scenario.stream(start_hour, end_hour):
         acc.add_hour(cols, scenario.scheduled_down_at(cols.hour))
     acc.flush()
-    return start_hour, end_hour, acc.by_downset, acc.total, acc.link_matrix
+    return (start_hour, end_hour, acc.by_downset, acc.total, acc.link_matrix,
+            _obs_delta_finish(obs_before))
 
 
 # -- sharding -----------------------------------------------------------------
@@ -211,7 +241,8 @@ class ParallelPipelineRunner:
             _PARENT_SCENARIO = self._scenario
             self._executor = ProcessPoolExecutor(
                 max_workers=self.n_workers, mp_context=context,
-                initializer=_init_worker, initargs=(self.params,))
+                initializer=_init_worker,
+                initargs=(self.params, obs.enabled()))
         return self._executor
 
     def close(self) -> None:
@@ -262,6 +293,7 @@ class ParallelPipelineRunner:
                 aggregator.stats.records_dropped - before[2])
             return
         shards = self._shards_for(start_hour, end_hour)
+        obs.count("pipeline.shards_dispatched", float(len(shards)))
         pool = self._pool()
         futures = [
             pool.submit(_aggregate_shard,
@@ -269,10 +301,12 @@ class ParallelPipelineRunner:
             for lo, hi in shards
         ]
         for future in futures:
-            columns_list, (d_in, d_out, d_drop) = future.result()
+            columns_list, (d_in, d_out, d_drop), obs_delta = future.result()
             self.stats.records_in += d_in
             self.stats.records_out += d_out
             self.stats.records_dropped += d_drop
+            if obs_delta is not None and obs.enabled():
+                obs.registry().merge(obs_delta)
             for columns in columns_list:
                 yield columns
 
@@ -292,12 +326,13 @@ class ParallelPipelineRunner:
 
         Bit-identical to serially streaming the window into a fresh
         ``CountsAccumulator`` (same per-key addition order)."""
-        counts = CountsAccumulator()
-        for columns in self.iter_hour_columns(start_hour, end_hour,
-                                              parallel=parallel):
-            counts.add_columns(columns)
-        counts.drain()
-        return counts
+        with obs.timed("pipeline.collect_counts"):
+            counts = CountsAccumulator()
+            for columns in self.iter_hour_columns(start_hour, end_hour,
+                                                  parallel=parallel):
+                counts.add_columns(columns)
+            counts.drain()
+            return counts
 
     # -- evaluation-runner windows ------------------------------------------
 
@@ -324,9 +359,11 @@ class ParallelPipelineRunner:
             acc.flush()
             return acc
         pool = self._pool()
+        obs.count("pipeline.shards_dispatched", float(len(shards)))
         futures = [pool.submit(_collect_shard, shard) for shard in shards]
         for future in futures:
-            lo, hi, by_downset, total, link_matrix = future.result()
+            (lo, hi, by_downset, total, link_matrix,
+             obs_delta) = future.result()
             acc.link_matrix[:, lo - start_hour:hi - start_hour] = link_matrix
             for down, pairs in by_downset.items():
                 bucket = acc.by_downset.setdefault(down, {})
@@ -334,4 +371,6 @@ class ParallelPipelineRunner:
                     bucket[key] = bucket.get(key, 0.0) + value
             for key, value in total.items():
                 acc.total[key] = acc.total.get(key, 0.0) + value
+            if obs_delta is not None and obs.enabled():
+                obs.registry().merge(obs_delta)
         return acc

@@ -1,4 +1,14 @@
-"""Data pipeline: records, encoding, aggregation, outages, streaming."""
+"""Data pipeline: records, encoding, aggregation, outages, streaming.
+
+Turns sampled telemetry into training rows: hourly aggregation to
+(flow-aggregate, ingress link, bytes) with strict/lenient drop
+accounting (per-record reference and a bit-identical vectorised
+columnar path), ordinal feature encoding, and "no bytes = down" outage
+inference.  A determinism-critical package: hot-path output is a pure
+function of ``(seed, hour)``, wall-clock-free by lint rule RA201; the
+observability hooks here report through the :mod:`repro.obs` facade
+only.
+"""
 
 from .records import AggColumns, AggRecord, FlowContext, UNKNOWN_LOCATION
 from .encoding import EncoderSet, OrdinalEncoder

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import runtime as obs
 from ..telemetry.ipfix import IpfixRecord
 from ..telemetry.metadata import MetadataStore
 from .encoding import EncoderSet
@@ -82,6 +83,18 @@ class HourlyAggregator:
             self._loc_cache[src_prefix_id] = cached
         return cached
 
+    @staticmethod
+    def _observe_hour(records_in: int, records_out: int,
+                      dropped: int) -> None:
+        """Report one aggregated hour to the obs registry (cheap when off)."""
+        if not obs.enabled():
+            return
+        obs.count("pipeline.aggregate.hours")
+        obs.count("pipeline.aggregate.records_in", float(records_in))
+        obs.count("pipeline.aggregate.records_out", float(records_out))
+        if dropped:
+            obs.count("pipeline.aggregate.records_dropped", float(dropped))
+
     def aggregate_hour(self, hour: int,
                        records: Iterable[IpfixRecord]) -> List[AggRecord]:
         """Aggregate one hour of IPFIX into feature-indexed records.
@@ -123,6 +136,7 @@ class HourlyAggregator:
         self.stats.records_in += count_in
         self.stats.records_out += len(out)
         self.stats.records_dropped += dropped
+        self._observe_hour(count_in, len(out), dropped)
         return out
 
     # -- vectorised path ---------------------------------------------------
@@ -293,6 +307,7 @@ class HourlyAggregator:
         self.stats.records_in += n
         self.stats.records_out += out.n_records
         self.stats.records_dropped += dropped
+        self._observe_hour(n, out.n_records, dropped)
         return out
 
 

@@ -1,4 +1,12 @@
-"""Telemetry substrate: IPFIX, BMP, Geo-IP, metadata."""
+"""Telemetry substrate: IPFIX, BMP, Geo-IP, metadata.
+
+The lossy window through which TIPSY sees the world: packet-sampled
+IPFIX export (the paper's §4.1 telemetry), BMP route feeds, Geo-IP
+metro lookup, and the deliberately unreliable SNMP poller the paper
+rejected (§5.1.1), kept for comparison studies.  Models never see
+ground truth — only what survives sampling here and aggregation in
+:mod:`repro.pipeline`.
+"""
 
 from .ipfix import DEFAULT_PACKET_BYTES, DEFAULT_SAMPLING_RATE, IpfixExporter, IpfixRecord
 from .geoip import GeoIPDatabase

@@ -1,4 +1,12 @@
-"""Topology substrate: geography, AS graph, and the cloud WAN."""
+"""Topology substrate: geography, AS graph, and the cloud WAN.
+
+The bottom layer of the world model (``docs/architecture.md``): metros
+with real coordinates and haversine distances, an AS-level Internet
+graph with customer/provider/peer edges, and the cloud WAN itself —
+edge sites, peering links, capacities.  Everything above (BGP
+propagation, traffic, telemetry) is built on these objects; nothing
+here depends on any other ``repro`` package except ``util``.
+"""
 
 from .geography import EARTH_RADIUS_KM, Metro, MetroCatalog, WORLD_METROS, haversine_km
 from .relationships import ASLink, LOCAL_PREF, Relationship, exportable, is_valley_free

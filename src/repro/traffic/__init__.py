@@ -1,4 +1,12 @@
-"""Traffic substrate: prefixes, workloads, diurnal patterns, generation."""
+"""Traffic substrate: prefixes, workloads, diurnal patterns, generation.
+
+Generates the enterprise traffic the WAN serves: announced prefixes and
+their source /24s, per-service workloads, and hourly byte volumes with
+diurnal/weekly shape.  A determinism-critical package (RA201 in
+``docs/static-analysis.md``): every hourly volume is a pure function of
+``(scenario seed, hour)``, which is what makes the parallel pipeline
+bit-identical to the serial one and benchmark workloads repeatable.
+"""
 
 from .diurnal import (
     DAYS_PER_WEEK,

@@ -1,4 +1,12 @@
-"""Shared utilities (deterministic hashing, exact sums, small helpers)."""
+"""Shared utilities (deterministic hashing, exact sums, small helpers).
+
+The leaf of the dependency tree: imports nothing from ``repro``, is
+imported by everything.  Hosts ``mix64`` — the stateless seeded mixer
+that replaces global RNG state everywhere (lint rules RA001–RA003) —
+and the Shewchuk-exact accumulators (``exactsum``) that make the
+incremental rolling-window retrain bit-identical to a from-scratch
+rebuild.
+"""
 
 from .exactsum import exact_add, exact_is_zero, exact_sub, exact_value
 from .hashing import geometric_day, mix64, pick, rotation, unit

@@ -1,0 +1,3 @@
+# No docstring on purpose: underscore-prefixed modules are private
+# implementation detail and exempt from RA401.  Must lint clean.
+_HELPER_CONSTANT = 42

@@ -1,0 +1,7 @@
+# expect: RA401
+# A public module whose first statement is code, not a docstring.
+TOP_K_DEFAULT = 5
+
+
+def top_k(values, k=TOP_K_DEFAULT):
+    return sorted(values, reverse=True)[:k]

@@ -13,16 +13,19 @@ FIXTURES = Path(__file__).parent / "fixtures"
 # -- noqa suppression --------------------------------------------------------
 
 def test_bare_noqa_suppresses_everything_on_the_line():
-    src = "import random\nx = random.random()  # repro: noqa\n"
+    src = ('"""Doc."""\n'
+           "import random\nx = random.random()  # repro: noqa\n")
     assert analyze_source(src, Path("mod.py")) == []
 
 
 def test_coded_noqa_suppresses_only_listed_codes():
-    src = ("import random\n"
+    src = ('"""Doc."""\n'
+           "import random\n"
            "x = random.Random()  # repro: noqa[RA003]\n")
     # RA003 (unseeded) suppressed; nothing else fires on that line
     assert analyze_source(src, Path("mod.py")) == []
-    src_wrong = ("import random\n"
+    src_wrong = ('"""Doc."""\n'
+                 "import random\n"
                  "x = random.Random()  # repro: noqa[RA001]\n")
     violations = analyze_source(src_wrong, Path("mod.py"))
     assert [v.code for v in violations] == ["RA003"]

@@ -39,8 +39,8 @@ def test_fixture_tree_is_nonempty():
     assert {"ra001_global_random.py", "ra002_numpy_global.py",
             "ra003_unseeded_rng.py", "ra101_pool_lambda.py",
             "ra102_pool_closure.py", "ra201_wall_clock.py",
-            "ra301_mutable_default.py", "clean.py",
-            "suppressed.py"} <= names
+            "ra301_mutable_default.py", "ra401_missing_docstring.py",
+            "clean.py", "suppressed.py"} <= names
 
 
 @pytest.mark.parametrize(
@@ -59,7 +59,12 @@ def test_every_rule_code_is_covered_by_a_fixture():
     for path in fixture_files():
         fired.update(code for _, code in expected_violations(path))
     assert {"RA001", "RA002", "RA003", "RA101", "RA102",
-            "RA201", "RA301"} <= fired
+            "RA201", "RA301", "RA401"} <= fired
+
+
+def test_private_modules_exempt_from_docstring_rule():
+    path = FIXTURES / "_private_no_docstring.py"
+    assert analyze_source(path.read_text(), path) == []
 
 
 def test_violation_messages_name_the_remedy():

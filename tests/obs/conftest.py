@@ -1,0 +1,13 @@
+"""Obs-test isolation: the switch and registries are process globals."""
+
+import pytest
+
+from repro.obs import runtime as obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Every test starts disabled with empty state, and leaves it so."""
+    obs.reset()
+    yield
+    obs.reset()

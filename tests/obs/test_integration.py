@@ -1,0 +1,144 @@
+"""Instrumentation wired through the real system.
+
+The contracts under test: the service and pipeline report what they
+actually did; a parallel run's merged worker metrics read the same as
+the serial run's; the `repro obs` CLI exports in every format; and the
+bench harness embeds its run's snapshot in the report meta.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.service import ServiceConfig, TipsyService
+from repro.obs import runtime as obs
+from repro.obs.cli import main as obs_main
+from repro.perf.parallel import ParallelPipelineRunner
+
+HOURS = 12
+
+
+@pytest.fixture()
+def ingested_service(small_scenario):
+    obs.enable(fresh=True)
+    service = TipsyService(small_scenario.wan,
+                           ServiceConfig(training_window_days=2))
+    for cols in small_scenario.stream(0, 3 * 24):
+        service.ingest_hour(cols.hour,
+                            small_scenario.agg_records_for(cols))
+    return service
+
+
+class TestServiceCounters:
+    def test_ingest_and_retrain_reported(self, ingested_service):
+        snap = obs.snapshot()
+        assert snap.counters["service.ingest.hours"] == 3 * 24
+        assert snap.counters["service.ingest.records"] > 0
+        # three day boundaries crossed -> incremental retrains happened
+        assert snap.counters["service.retrain.incremental"] >= 2
+        assert snap.histograms["service.retrain.seconds"].count >= 2
+
+    def test_serving_counters(self, small_scenario, ingested_service):
+        contexts = small_scenario.flow_contexts
+        ingested_service.predict_batch(contexts)
+        ingested_service.what_if([(contexts[0], 100.0)], frozenset())
+        snap = obs.snapshot()
+        assert snap.counters["service.predict.batches"] == 1
+        assert snap.counters["service.predict.flows"] == len(contexts)
+        assert snap.counters["service.what_if.calls"] == 1
+        assert snap.counters["service.what_if.flows"] == 1
+        assert snap.histograms["service.predict_batch.seconds"].count == 1
+
+    def test_export_gauges_publishes_cache_stats(self, ingested_service):
+        ingested_service.export_gauges()
+        gauges = obs.snapshot().gauges
+        for key, value in ingested_service.cache_stats().items():
+            assert gauges["service." + key] == float(value)
+        assert gauges["service.retrain_count"] >= 2
+
+    def test_untouched_when_disabled(self, small_scenario):
+        obs.reset()
+        service = TipsyService(small_scenario.wan,
+                               ServiceConfig(training_window_days=2))
+        for cols in small_scenario.stream(0, 24):
+            service.ingest_hour(cols.hour,
+                                small_scenario.agg_records_for(cols))
+        assert obs.snapshot().empty
+
+
+class TestParallelMerge:
+    def test_worker_metrics_merge_equals_serial(self, small_scenario):
+        obs.enable(fresh=True)
+        with ParallelPipelineRunner(scenario=small_scenario, n_workers=2,
+                                    shard_hours=6) as runner:
+            list(runner.iter_hour_columns(0, HOURS, parallel=True))
+        parallel_snap = obs.snapshot()
+
+        obs.enable(fresh=True)
+        with ParallelPipelineRunner(scenario=small_scenario,
+                                    n_workers=1) as runner:
+            list(runner.iter_hour_columns(0, HOURS, parallel=False))
+        serial_snap = obs.snapshot()
+
+        for name in ("pipeline.aggregate.hours",
+                     "pipeline.aggregate.records_in",
+                     "pipeline.aggregate.records_out"):
+            assert parallel_snap.counters.get(name) == \
+                serial_snap.counters.get(name), name
+        assert parallel_snap.counters["pipeline.aggregate.hours"] == HOURS
+        assert parallel_snap.counters["pipeline.shards_dispatched"] >= 2
+        # per-hour timing histograms merged back from the workers
+        assert parallel_snap.histograms[
+            "pipeline.aggregate_hour.seconds"].count == HOURS
+
+    def test_parallel_results_unchanged_by_instrumentation(
+            self, small_scenario):
+        with ParallelPipelineRunner(scenario=small_scenario,
+                                    n_workers=1) as runner:
+            plain = list(runner.iter_hours(0, 6, parallel=False))
+        obs.enable(fresh=True)
+        with ParallelPipelineRunner(scenario=small_scenario,
+                                    n_workers=1) as runner:
+            instrumented = list(runner.iter_hours(0, 6, parallel=False))
+        assert plain == instrumented
+
+
+class TestObsCli:
+    def test_all_formats_and_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        out_path = tmp_path / "snap.json"
+        rc = obs_main(["--days", "2", "--format", "json",
+                       "-o", str(out_path), "--trace-out", str(trace_path)])
+        assert rc == 0
+        snapshot = json.loads(out_path.read_text())
+        assert snapshot["counters"]["service.ingest.hours"] == 48
+        trace = json.loads(trace_path.read_text())
+        names = [span["name"] for span in trace["spans"]]
+        assert "obs.example_run" in names
+
+    def test_prometheus_to_stdout(self, capsys):
+        rc = obs_main(["--days", "2", "--format", "prometheus"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_service_ingest_hours counter" in out
+
+    def test_rejects_too_few_days(self):
+        with pytest.raises(SystemExit):
+            obs_main(["--days", "1"])
+
+
+class TestBenchMeta:
+    def test_report_embeds_obs_snapshot(self, tmp_path):
+        from repro.perf.bench import run_bench
+        from repro.perf.regression import load_report
+
+        rc = run_bench(profile="smoke", seed=1, out_dir=str(tmp_path),
+                       compare=False, save=True, rounds=1, suite="serving")
+        assert rc == 0
+        report_path, = tmp_path.glob("BENCH_*.smoke.json")
+        report = load_report(report_path)
+        snapshot = json.loads(report.meta["obs"])
+        assert snapshot["counters"]["service.predict.flows"] > 0
+        assert "service.retrain.seconds" in snapshot["histograms"]

@@ -1,0 +1,72 @@
+"""The overhead guarantee: disabled instrumentation must stay ~free.
+
+``docs/observability.md`` promises that leaving the instrumentation
+compiled into the hot paths costs nearly nothing while the switch is
+off: one global read per facade call, no allocation, no locking.  These
+tests guard the *mechanisms* behind that promise (shared no-op objects,
+short-circuit returns) and put a deliberately generous ceiling on the
+measured cost so a regression — say an eagerly-built argument or an
+unconditional registry lookup — fails loudly without making the suite
+flaky on slow CI runners.
+"""
+
+from __future__ import annotations
+
+import timeit
+
+from repro.obs import runtime as obs
+from repro.obs.spans import NOOP_SPAN
+
+
+class TestMechanisms:
+    def test_disabled_span_is_the_shared_singleton(self):
+        # no per-call allocation: every disabled span is the same object
+        assert obs.span("a") is obs.span("b") is NOOP_SPAN
+
+    def test_disabled_calls_touch_no_state(self):
+        obs.count("c", 1.0)
+        obs.observe("h", 0.5)
+        obs.gauge_set("g", 1.0)
+        assert obs.snapshot().empty
+
+
+class TestMeasuredCeiling:
+    def test_disabled_counter_cost_is_bounded(self):
+        """A disabled count() must cost no more than a small multiple of
+        a plain function call — generous bound, deterministic setup."""
+
+        def baseline():
+            obs.enabled()
+
+        def disabled_count():
+            obs.count("service.ingest.records", 1.0)
+
+        number = 20_000
+        base = min(timeit.repeat(baseline, number=number, repeat=5))
+        cost = min(timeit.repeat(disabled_count, number=number, repeat=5))
+        # disabled count() does one bool read more than enabled(); 20x
+        # headroom absorbs interpreter noise while still catching an
+        # accidental registry hit (orders of magnitude slower)
+        assert cost < base * 20
+
+    def test_disabled_span_cheaper_than_enabled(self):
+        def disabled_span():
+            with obs.span("x"):
+                pass
+
+        number = 5_000
+        off = min(timeit.repeat(disabled_span, number=number, repeat=5))
+        obs.enable(fresh=True)
+        on = min(timeit.repeat(disabled_span, number=number, repeat=5))
+        obs.reset()
+        # enabled spans allocate and lock; disabled must not. The margin
+        # is intentionally loose — catching inversion, not measuring.
+        assert off < on
+
+    def test_disabled_leaves_no_trace_even_after_heavy_use(self):
+        for _ in range(1000):
+            obs.count("c")
+            with obs.span("s"):
+                pass
+        assert obs.snapshot().empty
+        assert obs.tracer().roots() == []

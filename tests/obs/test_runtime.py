@@ -1,0 +1,88 @@
+"""The process-wide switch: disabled no-ops, enable/reset semantics."""
+
+from __future__ import annotations
+
+from repro.obs import runtime as obs
+from repro.obs.spans import NOOP_SPAN
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+
+    def test_facade_calls_are_noops(self):
+        obs.count("c")
+        obs.observe("h", 0.5)
+        obs.gauge_set("g", 1.0)
+        obs.set_gauges({"a": 1.0}, prefix="p.")
+        with obs.timed("t"):
+            pass
+        with obs.span("s"):
+            pass
+        snap = obs.snapshot()
+        assert snap.empty
+        assert obs.tracer().roots() == []
+
+    def test_span_returns_shared_noop(self):
+        assert obs.span("anything") is NOOP_SPAN
+        assert obs.timed("anything") is NOOP_SPAN
+
+
+class TestEnabled:
+    def test_count_observe_gauge(self):
+        obs.enable(fresh=True)
+        obs.count("c", 2.0)
+        obs.gauge_set("g", 5.0)
+        obs.observe("h", 0.01)
+        snap = obs.snapshot()
+        assert snap.counters["c"] == 2.0
+        assert snap.gauges["g"] == 5.0
+        assert snap.histograms["h"].count == 1
+
+    def test_timed_records_span_and_histogram(self):
+        ticks = iter(float(i) for i in range(100))
+        obs.enable(clock=lambda: next(ticks))
+        with obs.timed("op"):
+            pass
+        snap = obs.snapshot()
+        assert snap.histograms["op.seconds"].count == 1
+        # clock ticks: timed start=0, span start=1, span end=2, timed end=3
+        assert snap.histograms["op.seconds"].total == 3.0
+        assert [root.name for root in obs.tracer().roots()] == ["op"]
+
+    def test_timed_observes_even_when_body_raises(self):
+        obs.enable(fresh=True)
+        try:
+            with obs.timed("op"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert obs.snapshot().histograms["op.seconds"].count == 1
+
+    def test_disable_keeps_state(self):
+        obs.enable(fresh=True)
+        obs.count("c")
+        obs.disable()
+        obs.count("c")  # no-op
+        assert obs.snapshot().counters["c"] == 1.0
+
+    def test_enable_fresh_discards_state(self):
+        obs.enable(fresh=True)
+        obs.count("c")
+        obs.enable(fresh=True)
+        assert obs.snapshot().empty
+
+    def test_enable_without_fresh_keeps_state(self):
+        obs.enable(fresh=True)
+        obs.count("c")
+        obs.disable()
+        obs.enable()
+        obs.count("c")
+        assert obs.snapshot().counters["c"] == 2.0
+
+    def test_reset_disables_and_clears(self):
+        obs.enable(fresh=True)
+        obs.count("c")
+        obs.reset()
+        assert not obs.enabled()
+        assert obs.snapshot().empty

@@ -24,7 +24,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: packages under the strict ratchet — keep in sync with the
 #: [[tool.mypy.overrides]] strict block in pyproject.toml
 STRICT_PACKAGES = ("util", "topology", "bgp", "pipeline", "perf",
-                   "analysis", "core")
+                   "analysis", "core", "obs")
 
 #: typing names that are meaningless without parameters
 GENERIC_NAMES = frozenset({
@@ -72,6 +72,10 @@ def _unannotated(tree):
 
 def _bare_generics(tree):
     subscripted = set()
+    # a module-local class that shadows a typing name (e.g. an own
+    # `Counter`) is not the generic — annotations naming it are fine
+    local_classes = {node.name for node in ast.walk(tree)
+                     if isinstance(node, ast.ClassDef)}
     for node in ast.walk(tree):
         if isinstance(node, ast.Subscript) and isinstance(node.value,
                                                           ast.Name):
@@ -95,6 +99,7 @@ def _bare_generics(tree):
     for annotation in annotations():
         for node in ast.walk(annotation):
             if (isinstance(node, ast.Name) and node.id in GENERIC_NAMES
+                    and node.id not in local_classes
                     and id(node) not in subscripted):
                 problems.append(
                     f"line {node.lineno}: bare generic `{node.id}`")
