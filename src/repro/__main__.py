@@ -217,7 +217,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--smoke", action="store_true",
                          help="seconds-fast CI profile (small scenario)")
     p_bench.add_argument("--seed", type=int, default=1)
-    p_bench.add_argument("--suite", choices=("all", "pipeline", "serving"),
+    p_bench.add_argument("--suite",
+                         choices=("all", "pipeline", "serving", "lint"),
                          default="all",
                          help="which measurements to run (default: all)")
     p_bench.add_argument("--workers", type=int, default=None,

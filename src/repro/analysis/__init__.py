@@ -4,19 +4,25 @@
 custom AST checkers enforcing the invariants the reproduction's
 correctness rests on — explicitly-seeded RNG everywhere, picklable
 symbols across process-pool boundaries, no wall-clock reads on the
-hot path, no mutable default arguments.  Rules are documented in
-``docs/static-analysis.md`` and suppressed inline with
+hot path, no mutable default arguments.  ``repro lint --project``
+(see :mod:`repro.analysis.project`) adds whole-program rules on top:
+a call-graph race detector (RA501), a lock-discipline checker
+(RA502), and the architecture-layer contract (RA601), with per-file
+results cached incrementally by content hash.  Rules are documented
+in ``docs/static-analysis.md`` and suppressed inline with
 ``# repro: noqa[RAxxx]``.
 """
 
-from .base import (DEFAULT_HOT_PACKAGES, RULES, Checker, ImportMap,
-                   ModuleContext, Violation, apply_suppressions,
-                   checker_classes, suppressed_lines)
+from .base import (DEFAULT_HOT_PACKAGES, PROJECT_RULES, RULES, Checker,
+                   ImportMap, ModuleContext, Violation,
+                   apply_suppressions, checker_classes, suppressed_lines)
 from .engine import (AnalysisReport, analyze_paths, analyze_source,
                      iter_python_files)
+from .project import analyze_project
 
 __all__ = [
     "DEFAULT_HOT_PACKAGES",
+    "PROJECT_RULES",
     "RULES",
     "Checker",
     "ImportMap",
@@ -28,5 +34,6 @@ __all__ = [
     "AnalysisReport",
     "analyze_paths",
     "analyze_source",
+    "analyze_project",
     "iter_python_files",
 ]

@@ -41,7 +41,20 @@ RULES: Dict[str, Tuple[str, str]] = {
               "mutable default argument value shared across calls"),
     "RA401": ("missing-module-docstring",
               "public module does not open with a docstring"),
+    "RA501": ("shared-state-race",
+              "module- or class-level state written by a function "
+              "reachable from a process-pool dispatch"),
+    "RA502": ("lock-discipline",
+              "lock-guarded attribute read or written outside a "
+              "`with self._lock:` block"),
+    "RA601": ("layer-contract",
+              "module-scope import crosses the architecture layer map "
+              "([tool.repro.layers]) upward"),
 }
+
+#: rules that need whole-program context: they only run under
+#: ``repro lint --project`` (see ``project.py``)
+PROJECT_RULES: FrozenSet[str] = frozenset({"RA501", "RA502", "RA601"})
 
 #: package directories whose hourly code must be a pure function of
 #: (seed, hour) — wall-clock reads are banned inside them (RA201).

@@ -2,18 +2,32 @@
 
 Exit codes: 0 clean, 1 violations found (including files that failed to
 parse, reported as RA000).
+
+Three analysis modes:
+
+* default — per-file rules (RA0xx–RA4xx) over the given paths;
+* ``--project`` — whole-program mode: per-file rules **plus** the
+  semantic rules RA501/RA502/RA601, with an incremental on-disk cache
+  (``--cache-dir``, ``--no-cache``);
+* ``--changed-only`` — per-file rules over only the files changed
+  versus the git merge-base (plus untracked files), which keeps the
+  pre-commit hook O(diff) instead of O(tree).
+
+``--format sarif`` emits SARIF 2.1.0 for GitHub code scanning.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import FrozenSet, List, Optional, TextIO
+from typing import Dict, FrozenSet, List, Optional, TextIO
 
-from .base import DEFAULT_HOT_PACKAGES, RULES
+from .base import DEFAULT_HOT_PACKAGES, PROJECT_RULES, RULES
 from .engine import AnalysisReport, analyze_paths
+from .project import DEFAULT_CACHE_DIR, analyze_project
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -21,8 +35,17 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "paths", nargs="*", default=None,
         help="files or directories to lint (default: src)")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (json is machine-readable, for CI artifacts)")
+        "--project", action="store_true",
+        help="whole-program mode: adds the cross-module rules "
+             "RA501/RA502/RA601 and uses the incremental cache")
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="lint only files changed vs. the git merge-base "
+             "(plus untracked files); incompatible with --project")
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (json/sarif are machine-readable; sarif "
+             "feeds GitHub code scanning)")
     parser.add_argument(
         "--select", default=None, metavar="CODES",
         help="comma-separated rule codes to enable (default: all)")
@@ -31,6 +54,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="PKGS",
         help="comma-separated package dirs treated as determinism-"
              "critical for RA201")
+    parser.add_argument(
+        "--cache-dir", default=str(DEFAULT_CACHE_DIR), metavar="DIR",
+        help="incremental-cache directory for --project runs")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the --project incremental cache for this run")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule registry and exit")
@@ -55,28 +84,145 @@ def _render_text(report: AnalysisReport, stream: TextIO) -> None:
         print(violation.render(), file=stream)
     counts = report.counts_by_code()
     summary = ", ".join(f"{code}×{n}" for code, n in counts.items())
+    cache = ""
+    if report.cache_hits is not None:
+        cache = (f" (cache: {report.cache_hits} hits, "
+                 f"{report.cache_misses} misses)")
     if report.clean:
-        print(f"repro lint: {report.files_scanned} files scanned, clean",
-              file=stream)
+        print(f"repro lint: {report.files_scanned} files scanned, "
+              f"clean{cache}", file=stream)
     else:
         print(f"repro lint: {report.files_scanned} files scanned, "
-              f"{len(report.violations)} violation(s): {summary}",
+              f"{len(report.violations)} violation(s): {summary}{cache}",
               file=stream)
+
+
+def to_sarif(report: AnalysisReport) -> Dict[str, object]:
+    """SARIF 2.1.0 payload for GitHub code-scanning upload."""
+    used = sorted({v.code for v in report.violations})
+    rules = [{
+        "id": code,
+        "name": RULES[code][0] if code in RULES else code,
+        "shortDescription": {
+            "text": RULES[code][1] if code in RULES else code},
+        "helpUri": ("https://github.com/tipsy-repro/tipsy-repro/blob/"
+                    "main/docs/static-analysis.md"),
+    } for code in used]
+    results = [{
+        "ruleId": v.code,
+        "level": "error",
+        "message": {"text": v.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": v.path.replace("\\", "/"),
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {"startLine": v.line,
+                           "startColumn": v.col},
+            },
+        }],
+    } for v in report.violations]
+    return {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri": ("https://github.com/tipsy-repro/"
+                                   "tipsy-repro"),
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
 
 
 def _render(report: AnalysisReport, fmt: str, stream: TextIO) -> None:
     if fmt == "json":
         json.dump(report.to_json(), stream, indent=2)
         stream.write("\n")
+    elif fmt == "sarif":
+        json.dump(to_sarif(report), stream, indent=2)
+        stream.write("\n")
     else:
         _render_text(report, stream)
+
+
+def _git(args: List[str], cwd: Path) -> Optional[str]:
+    try:
+        proc = subprocess.run(
+            ["git"] + args, cwd=str(cwd), capture_output=True,
+            text=True, check=False)
+    except OSError:
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout
+
+
+def changed_files(cwd: Path,
+                  base_refs: Optional[List[str]] = None
+                  ) -> Optional[List[Path]]:
+    """Python files changed vs. the merge-base, plus untracked ones.
+
+    Returns None when git (or a usable base ref) is unavailable, in
+    which case the caller falls back to a full lint.
+    """
+    refs = base_refs if base_refs is not None else ["origin/main", "main"]
+    merge_base: Optional[str] = None
+    for ref in refs:
+        out = _git(["merge-base", "HEAD", ref], cwd)
+        if out is not None and out.strip():
+            merge_base = out.strip()
+            break
+    if merge_base is None:
+        return None
+    diff = _git(["diff", "--name-only", "--diff-filter=d",
+                 merge_base, "HEAD"], cwd)
+    staged = _git(["diff", "--name-only", "--diff-filter=d",
+                   merge_base], cwd)
+    untracked = _git(["ls-files", "--others", "--exclude-standard"], cwd)
+    if diff is None or staged is None or untracked is None:
+        return None
+    names = sorted({
+        line.strip()
+        for out in (diff, staged, untracked)
+        for line in out.splitlines() if line.strip()})
+    top = _git(["rev-parse", "--show-toplevel"], cwd)
+    base = Path(top.strip()) if top is not None and top.strip() else cwd
+    return [base / name for name in names
+            if name.endswith(".py") and (base / name).is_file()]
+
+
+def _restrict_to(requested: List[Path],
+                 changed: List[Path]) -> List[Path]:
+    """Changed files that fall under one of the requested paths."""
+    resolved = [p.resolve() for p in requested]
+    kept: List[Path] = []
+    for path in changed:
+        target = path.resolve()
+        for scope in resolved:
+            if target == scope or scope in target.parents:
+                kept.append(path)
+                break
+    return kept
 
 
 def run_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         for code, (name, description) in sorted(RULES.items()):
-            print(f"{code}  {name:<22s} {description}")
+            marker = "*" if code in PROJECT_RULES else " "
+            print(f"{code}{marker} {name:<22s} {description}")
+        print("\n(* = needs whole-program context: runs only under "
+              "--project)")
         return 0
+    if args.project and args.changed_only:
+        print("repro lint: --changed-only is incompatible with "
+              "--project (project rules need the whole tree)",
+              file=sys.stderr)
+        return 2
     raw_paths: List[str] = args.paths or ["src"]
     paths = [Path(p) for p in raw_paths]
     missing = [p for p in paths if not p.exists()]
@@ -86,9 +232,28 @@ def run_lint(args: argparse.Namespace) -> int:
         return 1
     hot = frozenset(
         p.strip() for p in args.hot_path.split(",") if p.strip())
-    report = analyze_paths(paths, hot_packages=hot,
-                           select=_parse_codes(args.select),
-                           root=Path.cwd())
+    select = _parse_codes(args.select)
+
+    if args.changed_only:
+        changed = changed_files(Path.cwd())
+        if changed is None:
+            print("repro lint: --changed-only: no git merge-base "
+                  "available; linting everything", file=sys.stderr)
+        else:
+            paths = _restrict_to(paths, changed)
+            if not paths:
+                report = AnalysisReport()
+                _render(report, args.format, sys.stdout)
+                return 0
+
+    if args.project:
+        cache_dir = None if args.no_cache else Path(args.cache_dir)
+        report = analyze_project(paths, hot_packages=hot,
+                                 select=select, root=Path.cwd(),
+                                 cache_dir=cache_dir)
+    else:
+        report = analyze_paths(paths, hot_packages=hot,
+                               select=select, root=Path.cwd())
     _render(report, args.format, sys.stdout)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -24,10 +24,18 @@ _SKIP_DIRS: FrozenSet[str] = frozenset({
 
 @dataclass
 class AnalysisReport:
-    """Everything one lint run produced."""
+    """Everything one lint run produced.
+
+    ``cache_hits``/``cache_misses`` stay ``None`` for plain per-file
+    runs; project mode (``--project``) fills them from its incremental
+    per-file cache so callers — and the lint bench suite — can assert
+    how much work a warm run actually skipped.
+    """
 
     violations: List[Violation] = field(default_factory=list)
     files_scanned: int = 0
+    cache_hits: Optional[int] = None
+    cache_misses: Optional[int] = None
 
     @property
     def clean(self) -> bool:
@@ -40,13 +48,17 @@ class AnalysisReport:
         return dict(sorted(counts.items()))
 
     def to_json(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "clean": self.clean,
             "files_scanned": self.files_scanned,
             "violation_count": len(self.violations),
             "counts_by_code": self.counts_by_code(),
             "violations": [v.to_json() for v in self.violations],
         }
+        if self.cache_hits is not None or self.cache_misses is not None:
+            payload["cache"] = {"hits": self.cache_hits or 0,
+                                "misses": self.cache_misses or 0}
+        return payload
 
 
 def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
@@ -66,6 +78,20 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
                 yield candidate
 
 
+def analyze_parsed(source: str, path: Path, tree: ast.Module,
+                   hot_packages: FrozenSet[str] = DEFAULT_HOT_PACKAGES,
+                   display_path: Optional[str] = None) -> List[Violation]:
+    """Run every per-file checker over an already-parsed module."""
+    display = display_path if display_path is not None else str(path)
+    context = ModuleContext(path=path, source=source, tree=tree,
+                            hot_packages=hot_packages,
+                            display_path=display)
+    violations: List[Violation] = []
+    for checker_cls in checker_classes():
+        violations.extend(checker_cls(context).run())
+    return sorted(apply_suppressions(source, violations))
+
+
 def analyze_source(source: str, path: Path,
                    hot_packages: FrozenSet[str] = DEFAULT_HOT_PACKAGES,
                    display_path: Optional[str] = None) -> List[Violation]:
@@ -77,13 +103,18 @@ def analyze_source(source: str, path: Path,
         return [Violation(path=display, line=exc.lineno or 1,
                           col=(exc.offset or 0) + 1, code="RA000",
                           message=f"syntax error: {exc.msg}")]
-    context = ModuleContext(path=path, source=source, tree=tree,
-                            hot_packages=hot_packages,
-                            display_path=display)
-    violations: List[Violation] = []
-    for checker_cls in checker_classes():
-        violations.extend(checker_cls(context).run())
-    return sorted(apply_suppressions(source, violations))
+    return analyze_parsed(source, path, tree, hot_packages=hot_packages,
+                          display_path=display)
+
+
+def display_for(file_path: Path, root: Optional[Path]) -> Optional[str]:
+    """Path shown in reports: relative to ``root`` when possible."""
+    if root is None:
+        return None
+    try:
+        return str(file_path.resolve().relative_to(root.resolve()))
+    except ValueError:
+        return str(file_path)
 
 
 def analyze_paths(paths: Sequence[Path],
@@ -97,13 +128,7 @@ def analyze_paths(paths: Sequence[Path],
     """
     report = AnalysisReport()
     for file_path in iter_python_files(paths):
-        display: Optional[str] = None
-        if root is not None:
-            try:
-                display = str(file_path.resolve().relative_to(
-                    root.resolve()))
-            except ValueError:
-                display = str(file_path)
+        display = display_for(file_path, root)
         source = file_path.read_text(encoding="utf-8")
         found = analyze_source(source, file_path,
                                hot_packages=hot_packages,

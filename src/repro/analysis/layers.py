@@ -1,0 +1,335 @@
+"""RA601: the architecture-layer contract.
+
+``docs/architecture.md`` draws the package layer map ("arrows point
+down"); this module makes that diagram executable.  The allowed import
+edges live in a ``[tool.repro.layers]`` table in ``pyproject.toml``::
+
+    [tool.repro.layers]
+    root = "repro"
+    util = []
+    topology = ["util"]
+    core = ["pipeline", "topology", "obs", "util"]
+
+Each key is a *layer* — the first dotted component under the root
+package — and its value lists the layers its modules may import at
+module scope.  ``"*"`` permits everything (used for the package root's
+own modules and for glue layers like ``experiments``).  The table must
+itself form a DAG; a cyclic table would make the contract vacuous, so
+:func:`load_layer_config` rejects it with :class:`LayerConfigError`.
+
+Two import forms are deliberately exempt, because they are the
+sanctioned cycle-breaking idioms used throughout the tree:
+
+* imports under ``if TYPE_CHECKING:`` (annotations only, no runtime
+  edge), and
+* function-scope (lazy) imports.
+
+The checker therefore only sees the *runtime module-scope* edges that
+:mod:`callgraph` recorded in ``ModuleFacts.internal_imports``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+from .base import Violation
+
+if TYPE_CHECKING:
+    from .callgraph import ModuleFacts
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on py3.9 CI
+    tomllib = None  # type: ignore[assignment]
+
+_DEFAULT_ROOT = "repro"
+
+
+class LayerConfigError(ValueError):
+    """The ``[tool.repro.layers]`` table is malformed or cyclic."""
+
+
+@dataclass(frozen=True)
+class LayerConfig:
+    """A validated layer map: layer -> layers it may import."""
+
+    root: str
+    allowed: Mapping[str, Tuple[str, ...]]
+    source: str = "<memory>"
+
+    def layer_of(self, module: str) -> Optional[str]:
+        """Layer a dotted module belongs to, or None if outside root.
+
+        ``repro.core.service`` -> ``core``; ``repro`` itself and
+        top-level modules like ``repro.cli`` map to the root layer
+        (named after the root package).  A module inside an
+        *undeclared* subpackage keeps that subpackage's name, so
+        :func:`check_layers` can flag it — adding a package without
+        extending the layer table is itself a contract violation.
+        """
+        parts = module.split(".")
+        if parts[0] != self.root:
+            return None
+        if len(parts) == 1:
+            return self.root
+        candidate = parts[1]
+        if candidate in self.allowed:
+            return candidate
+        if len(parts) == 2:
+            return self.root  # a top-level module file, not a package
+        return candidate
+
+    def permits(self, importer_layer: str, target_layer: str) -> bool:
+        if importer_layer == target_layer:
+            return True
+        allowed = self.allowed.get(importer_layer)
+        if allowed is None:
+            return False
+        return "*" in allowed or target_layer in allowed
+
+
+def _validate(root: str, allowed: Dict[str, Tuple[str, ...]],
+              source: str) -> LayerConfig:
+    known = set(allowed) | {root}
+    for layer, targets in allowed.items():
+        for target in targets:
+            if target == "*":
+                continue
+            if target not in known:
+                raise LayerConfigError(
+                    f"{source}: layer {layer!r} allows unknown layer "
+                    f"{target!r} (declare it, even as an empty list)")
+    # the table must be a DAG, ignoring "*" wildcard layers (a wildcard
+    # layer sits at the top and cannot create a meaningful cycle below)
+    edges: Dict[str, List[str]] = {
+        layer: [t for t in targets if t != "*" and t != layer]
+        for layer, targets in allowed.items() if "*" not in targets}
+    state: Dict[str, int] = {}
+
+    def visit(node: str, trail: List[str]) -> None:
+        mark = state.get(node, 0)
+        if mark == 1:
+            cycle = " -> ".join(trail[trail.index(node):] + [node])
+            raise LayerConfigError(
+                f"{source}: [tool.repro.layers] is cyclic ({cycle}); "
+                "a cyclic layer map cannot express an architecture")
+        if mark == 2:
+            return
+        state[node] = 1
+        for target in edges.get(node, ()):
+            visit(target, trail + [node])
+        state[node] = 2
+
+    for layer in edges:
+        visit(layer, [])
+    return LayerConfig(root=root, allowed=dict(allowed), source=source)
+
+
+def _layers_from_mapping(raw: Mapping[str, object],
+                         source: str) -> LayerConfig:
+    root = _DEFAULT_ROOT
+    allowed: Dict[str, Tuple[str, ...]] = {}
+    for key, value in raw.items():
+        if key == "root":
+            if not isinstance(value, str) or not value:
+                raise LayerConfigError(
+                    f"{source}: [tool.repro.layers] `root` must be a "
+                    "non-empty string")
+            root = value
+            continue
+        if not isinstance(value, (list, tuple)) or not all(
+                isinstance(item, str) for item in value):
+            raise LayerConfigError(
+                f"{source}: layer {key!r} must map to a list of layer "
+                "names")
+        allowed[key] = tuple(value)
+    if not allowed:
+        raise LayerConfigError(
+            f"{source}: [tool.repro.layers] declares no layers")
+    return _validate(root, allowed, source)
+
+
+# -- minimal TOML fallback ----------------------------------------------------
+#
+# tomllib is 3.11+; the CI matrix still runs 3.9.  The layers table only
+# uses `key = "str"` and `key = ["a", "b"]` forms, so a tiny line-based
+# reader suffices there.  On 3.11+ the real tomllib is always used.
+
+_SECTION_RE = re.compile(r"^\[(?P<name>[^\]]+)\]\s*$")
+_KV_RE = re.compile(r"^(?P<key>[A-Za-z0-9_.\-\"']+)\s*=\s*(?P<value>.+)$")
+
+
+def _parse_toml_value(text: str, source: str) -> object:
+    text = text.strip()
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_toml_value(part, source)
+                for part in _split_toml_list(inner)]
+    if (text.startswith('"') and text.endswith('"')) or (
+            text.startswith("'") and text.endswith("'")):
+        return text[1:-1]
+    raise LayerConfigError(
+        f"{source}: unsupported TOML value {text!r} in "
+        "[tool.repro.layers] (fallback parser handles strings and "
+        "string lists only)")
+
+
+def _split_toml_list(inner: str) -> List[str]:
+    parts: List[str] = []
+    depth = 0
+    quote = ""
+    current = ""
+    for char in inner:
+        if quote:
+            current += char
+            if char == quote:
+                quote = ""
+            continue
+        if char in "\"'":
+            quote = char
+            current += char
+        elif char == "[":
+            depth += 1
+            current += char
+        elif char == "]":
+            depth -= 1
+            current += char
+        elif char == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        parts.append(current)
+    return parts
+
+
+def _strip_toml_comment(line: str) -> str:
+    out: List[str] = []
+    quote = ""
+    for char in line:
+        if quote:
+            out.append(char)
+            if char == quote:
+                quote = ""
+        elif char in "\"'":
+            quote = char
+            out.append(char)
+        elif char == "#":
+            break
+        else:
+            out.append(char)
+    return "".join(out).rstrip()
+
+
+def _fallback_read_layers(text: str,
+                          source: str) -> Optional[Mapping[str, object]]:
+    table: Dict[str, object] = {}
+    in_layers = False
+    found = False
+    buffer = ""
+    for raw_line in text.splitlines():
+        line = _strip_toml_comment(raw_line)
+        if not line.strip():
+            continue
+        section = _SECTION_RE.match(line.strip())
+        if section and not buffer:
+            in_layers = section.group("name").strip() == "tool.repro.layers"
+            found = found or in_layers
+            continue
+        if not in_layers:
+            continue
+        buffer = f"{buffer} {line.strip()}" if buffer else line.strip()
+        # multi-line arrays: keep buffering until brackets balance
+        if buffer.count("[") > buffer.count("]") or buffer.endswith(","):
+            continue
+        match = _KV_RE.match(buffer)
+        buffer = ""
+        if not match:
+            continue
+        key = match.group("key").strip("\"'")
+        table[key] = _parse_toml_value(match.group("value"), source)
+    return table if found else None
+
+
+def read_layers_table(pyproject: Path) -> Optional[LayerConfig]:
+    """Load and validate ``[tool.repro.layers]`` from a pyproject file.
+
+    Returns None when the file has no such table; raises
+    :class:`LayerConfigError` when the table exists but is invalid.
+    """
+    source = str(pyproject)
+    text = pyproject.read_text(encoding="utf-8")
+    raw: Optional[Mapping[str, object]]
+    if tomllib is not None:
+        data = tomllib.loads(text)
+        tool = data.get("tool", {})
+        repro = tool.get("repro", {}) if isinstance(tool, dict) else {}
+        layers = repro.get("layers") if isinstance(repro, dict) else None
+        raw = layers if isinstance(layers, dict) else None
+    else:  # pragma: no cover - py<3.11 only
+        raw = _fallback_read_layers(text, source)
+    if raw is None:
+        return None
+    return _layers_from_mapping(raw, source)
+
+
+def find_layer_config(start: Path) -> Optional[LayerConfig]:
+    """Walk up from ``start`` to the nearest pyproject layer table."""
+    cursor = start.resolve()
+    if cursor.is_file():
+        cursor = cursor.parent
+    while True:
+        candidate = cursor / "pyproject.toml"
+        if candidate.is_file():
+            config = read_layers_table(candidate)
+            if config is not None:
+                return config
+        parent = cursor.parent
+        if parent == cursor:
+            return None
+        cursor = parent
+
+
+# -- the RA601 check ----------------------------------------------------------
+
+def check_layers(modules: Sequence["ModuleFacts"],
+                 config: LayerConfig) -> List[Violation]:
+    """RA601 violations for every module-scope up-layer import."""
+    violations: List[Violation] = []
+    declared = set(config.allowed) | {config.root}
+    for facts in modules:
+        importer_layer = config.layer_of(facts.module)
+        if importer_layer is None:
+            continue
+        for imp in facts.internal_imports:
+            target_layer = config.layer_of(imp.target)
+            if target_layer is None:
+                continue
+            if config.permits(importer_layer, target_layer):
+                continue
+            if importer_layer not in declared:
+                detail = (f"layer {importer_layer!r} is not declared in "
+                          f"[tool.repro.layers]")
+            else:
+                detail = (f"[tool.repro.layers] does not allow "
+                          f"{importer_layer!r} -> {target_layer!r}")
+            violation = Violation(
+                path=facts.display_path,
+                line=imp.lineno,
+                col=imp.col,
+                code="RA601",
+                message=(f"module-scope import of `{imp.target}` "
+                         f"crosses the layer map: {detail}; use a "
+                         "TYPE_CHECKING or function-scope import if "
+                         "this edge is a sanctioned cycle-break"),
+            )
+            if not facts.is_suppressed(imp.lineno, "RA601"):
+                violations.append(violation)
+    return violations

@@ -1,0 +1,240 @@
+"""Project mode: whole-program analysis with an incremental cache.
+
+``repro lint --project`` upgrades the linter from per-file pattern
+checks to semantic, cross-module rules:
+
+1. every module is parsed **once** and summarised into
+   :class:`~repro.analysis.callgraph.ModuleFacts` (plus the per-file
+   rule violations and RA502 lock findings),
+2. the summaries are linked into a
+   :class:`~repro.analysis.callgraph.ProjectGraph`,
+3. the project rules run over the graph — RA501 (shared-state races
+   reachable from pool dispatches), RA502 (lock discipline, rendered
+   from per-class findings), RA601 (the ``[tool.repro.layers]``
+   architecture contract).
+
+The per-file step is cached on disk keyed by a SHA-256 of the file's
+*content* plus the analysis parameters and a cache schema version, so
+a warm run re-analyzes only files that actually changed; everything
+else is loaded as JSON facts and re-linked.  Linking and the project
+rules are cheap (no parsing), which is what makes whole-program
+analysis viable in a pre-commit hook.  Cache entries are self-contained
+and content-addressed, so the cache directory is safe to delete at any
+time and safe to share between branches.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .base import DEFAULT_HOT_PACKAGES, PROJECT_RULES, Violation
+from .callgraph import ModuleFacts, ProjectGraph, extract_facts, \
+    module_name_for
+from .engine import AnalysisReport, analyze_parsed, display_for, \
+    iter_python_files
+from .layers import LayerConfig, check_layers, find_layer_config
+from .locks import LockFinding, find_lock_findings, \
+    violations_from_findings
+from .races import check_races
+
+#: bump when the facts schema or any project rule's extraction changes;
+#: stale entries are simply misses (their keys never match again)
+CACHE_SCHEMA_VERSION = 1
+
+#: default cache location, relative to the current working directory
+DEFAULT_CACHE_DIR = Path(".repro-lint-cache")
+
+
+@dataclass
+class _FileAnalysis:
+    """Everything project mode derives from one file."""
+
+    facts: Optional[ModuleFacts]            # None when the parse failed
+    violations: List[Violation]             # per-file rules (post-noqa)
+    lock_findings: List[LockFinding]
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "facts": None if self.facts is None else self.facts.to_json(),
+            # paths are display-relative and recomputed on load, so the
+            # cache stays valid when the run's cwd or root changes
+            "violations": [{"line": v.line, "col": v.col,
+                            "code": v.code, "message": v.message}
+                           for v in self.violations],
+            "lock_findings": [f.to_json() for f in self.lock_findings],
+        }
+
+    @classmethod
+    def from_json(cls, raw: Dict[str, object],
+                  display: str) -> "_FileAnalysis":
+        facts = None
+        if raw.get("facts") is not None:
+            facts = ModuleFacts.from_json(raw["facts"])  # type: ignore[arg-type]
+            facts.display_path = display
+        violations = [
+            Violation(path=display, line=int(v["line"]),
+                      col=int(v["col"]), code=str(v["code"]),
+                      message=str(v["message"]))
+            for v in raw.get("violations", ())]  # type: ignore[union-attr]
+        lock_findings = [LockFinding.from_json(f)
+                         for f in raw.get("lock_findings", ())]  # type: ignore[union-attr]
+        return cls(facts=facts, violations=violations,
+                   lock_findings=lock_findings)
+
+
+class ProjectCache:
+    """Content-addressed per-file analysis cache with hit/miss counters.
+
+    ``cache_dir=None`` disables persistence but keeps the counters, so
+    callers can always read ``hits``/``misses``.
+    """
+
+    def __init__(self, cache_dir: Optional[Path],
+                 params_key: str) -> None:
+        self.cache_dir = cache_dir
+        self.params_key = params_key
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, content: bytes, module: str) -> str:
+        digest = hashlib.sha256()
+        digest.update(
+            f"v{CACHE_SCHEMA_VERSION}\x00{self.params_key}\x00"
+            f"{module}\x00".encode("utf-8"))
+        digest.update(content)
+        return digest.hexdigest()
+
+    def _path_for(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str, display: str) -> Optional[_FileAnalysis]:
+        path = self._path_for(key)
+        if path is None or not path.is_file():
+            self.misses += 1
+            return None
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+            entry = _FileAnalysis.from_json(raw, display)
+        except (ValueError, KeyError, TypeError):
+            # a corrupt entry is just a miss; it will be rewritten
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: _FileAnalysis) -> None:
+        path = self._path_for(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry.to_json(), sort_keys=True),
+                       encoding="utf-8")
+        tmp.replace(path)  # atomic: parallel lint runs never see torn JSON
+
+
+def _analyze_file(file_path: Path, source: str, display: str,
+                  hot_packages: FrozenSet[str],
+                  internal_roots: FrozenSet[str]) -> _FileAnalysis:
+    try:
+        tree = ast.parse(source, filename=str(file_path))
+    except SyntaxError as exc:
+        return _FileAnalysis(
+            facts=None,
+            violations=[Violation(
+                path=display, line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1, code="RA000",
+                message=f"syntax error: {exc.msg}")],
+            lock_findings=[])
+    violations = analyze_parsed(source, file_path, tree,
+                                hot_packages=hot_packages,
+                                display_path=display)
+    facts = extract_facts(tree, source, file_path, display,
+                          internal_roots)
+    return _FileAnalysis(facts=facts, violations=violations,
+                         lock_findings=find_lock_findings(tree))
+
+
+def analyze_project(paths: Sequence[Path],
+                    hot_packages: FrozenSet[str] = DEFAULT_HOT_PACKAGES,
+                    select: Optional[FrozenSet[str]] = None,
+                    root: Optional[Path] = None,
+                    cache_dir: Optional[Path] = DEFAULT_CACHE_DIR,
+                    layer_config: Optional[LayerConfig] = None
+                    ) -> AnalysisReport:
+    """Whole-program lint: per-file rules plus RA501/RA502/RA601.
+
+    ``layer_config`` defaults to the nearest ``[tool.repro.layers]``
+    table above the first analyzed path; without one, RA601 is skipped
+    (there is no contract to enforce).
+    """
+    files: List[Tuple[Path, str]] = []   # (path, display)
+    for file_path in iter_python_files(paths):
+        display = display_for(file_path, root)
+        files.append((file_path, display if display is not None
+                      else str(file_path)))
+
+    # internal roots are derived from the analyzed set itself, so the
+    # graph needs no package configuration; they feed the cache key
+    # because facts extraction depends on them
+    module_names = {path: module_name_for(path) for path, _ in files}
+    internal_roots = frozenset(name.split(".")[0]
+                               for name in module_names.values())
+
+    params_key = "|".join([
+        ",".join(sorted(hot_packages)),
+        ",".join(sorted(internal_roots)),
+    ])
+    cache = ProjectCache(cache_dir, params_key)
+
+    report = AnalysisReport(cache_hits=0, cache_misses=0)
+    analyses: List[_FileAnalysis] = []
+    for file_path, display in files:
+        content = file_path.read_bytes()
+        key = cache.key_for(content, module_names[file_path])
+        entry = cache.get(key, display)
+        if entry is None:
+            entry = _analyze_file(
+                file_path, content.decode("utf-8"), display,
+                hot_packages, internal_roots)
+            cache.put(key, entry)
+        analyses.append(entry)
+        report.files_scanned += 1
+
+    violations: List[Violation] = []
+    modules: List[ModuleFacts] = []
+    for entry in analyses:
+        violations.extend(entry.violations)
+        if entry.facts is None:
+            continue
+        modules.append(entry.facts)
+        violations.extend(violations_from_findings(
+            entry.lock_findings, entry.facts.display_path,
+            entry.facts.suppressed))
+
+    graph = ProjectGraph.link(modules)
+    violations.extend(check_races(graph))
+
+    if layer_config is None and files:
+        layer_config = find_layer_config(files[0][0])
+    if layer_config is not None:
+        violations.extend(check_layers(modules, layer_config))
+
+    if select is not None:
+        violations = [v for v in violations if v.code in select]
+    report.violations = sorted(violations)
+    report.cache_hits = cache.hits
+    report.cache_misses = cache.misses
+    return report
+
+
+#: re-exported so callers can reason about which codes need --project
+__all__ = ["CACHE_SCHEMA_VERSION", "DEFAULT_CACHE_DIR", "ProjectCache",
+           "analyze_project", "PROJECT_RULES"]

@@ -67,7 +67,8 @@ class Counter:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Gauge:
@@ -90,7 +91,8 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 @dataclass(frozen=True)
@@ -165,11 +167,13 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def total(self) -> float:
-        return self._total
+        with self._lock:
+            return self._total
 
     def data(self) -> HistogramData:
         with self._lock:
@@ -276,7 +280,8 @@ class MetricsRegistry:
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
-    def _check_free(self, name: str, kind: str) -> None:
+    def _check_free_locked(self, name: str, kind: str) -> None:
+        # callers hold self._lock (hence the _locked suffix)
         owners = {"counter": self._counters, "gauge": self._gauges,
                   "histogram": self._histograms}
         for other_kind, table in owners.items():
@@ -288,7 +293,7 @@ class MetricsRegistry:
         with self._lock:
             instrument = self._counters.get(name)
             if instrument is None:
-                self._check_free(name, "counter")
+                self._check_free_locked(name, "counter")
                 instrument = Counter(name, self._lock)
                 self._counters[name] = instrument
             return instrument
@@ -297,7 +302,7 @@ class MetricsRegistry:
         with self._lock:
             instrument = self._gauges.get(name)
             if instrument is None:
-                self._check_free(name, "gauge")
+                self._check_free_locked(name, "gauge")
                 instrument = Gauge(name, self._lock)
                 self._gauges[name] = instrument
             return instrument
@@ -308,7 +313,7 @@ class MetricsRegistry:
         with self._lock:
             instrument = self._histograms.get(name)
             if instrument is None:
-                self._check_free(name, "histogram")
+                self._check_free_locked(name, "histogram")
                 instrument = Histogram(name, self._lock, buckets)
                 self._histograms[name] = instrument
             elif instrument.buckets != tuple(float(b) for b in buckets):
@@ -327,10 +332,10 @@ class MetricsRegistry:
         with self._lock:
             counters = {name: c._value for name, c in self._counters.items()}
             gauges = {name: g._value for name, g in self._gauges.items()}
+            members = list(self._histograms.items())
         # Histogram.data() takes the lock itself; collect outside the
         # registry lock to avoid re-entry (threading.Lock is not re-entrant).
-        histograms = {name: h.data()
-                      for name, h in list(self._histograms.items())}
+        histograms = {name: h.data() for name, h in members}
         return MetricsSnapshot(counters=counters, gauges=gauges,
                                histograms=histograms)
 

@@ -49,10 +49,13 @@ def enable(clock: Optional[Callable[[], float]] = None,
     copy-on-write and must not double-report it).
     """
     global _ENABLED, _REGISTRY, _TRACER
+    # RA501: these globals are per-process by design — a pool worker
+    # calling enable(fresh=True) *wants* its own registry/tracer; the
+    # shard functions ship snapshot deltas back for the parent to merge.
     if fresh or clock is not None:
-        _REGISTRY = MetricsRegistry()
-        _TRACER = Tracer(clock=clock)
-    _ENABLED = True
+        _REGISTRY = MetricsRegistry()  # repro: noqa[RA501]
+        _TRACER = Tracer(clock=clock)  # repro: noqa[RA501]
+    _ENABLED = True  # repro: noqa[RA501]
     return _REGISTRY
 
 

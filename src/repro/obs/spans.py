@@ -109,7 +109,8 @@ class Tracer:
     @property
     def dropped(self) -> int:
         """Spans not kept because the ``max_spans`` cap was reached."""
-        return self._dropped
+        with self._lock:
+            return self._dropped
 
     @contextmanager
     def span(self, name: str) -> Iterator[Optional[Span]]:
@@ -155,14 +156,15 @@ class Tracer:
     def to_json(self) -> Dict[str, object]:
         return {
             "spans": [root.to_json() for root in self.roots()],
-            "dropped": self._dropped,
+            "dropped": self.dropped,
         }
 
     def render_text(self) -> str:
         lines: List[str] = []
         for root in self.roots():
             lines.extend(root.render())
-        if self._dropped:
-            lines.append(f"({self._dropped} span(s) dropped past the "
+        dropped = self.dropped
+        if dropped:
+            lines.append(f"({dropped} span(s) dropped past the "
                          f"{self._max_spans}-span cap)")
         return "\n".join(lines)

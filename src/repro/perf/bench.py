@@ -1,6 +1,6 @@
 """The ``repro bench`` command: measure, record, compare.
 
-Two suites, selectable with ``--suite`` (default runs both):
+Three suites, selectable with ``--suite`` (default runs all):
 
 * ``pipeline`` — ingestion throughput: telemetry streaming, per-record
   vs vectorised aggregation, columnar training counts, and the
@@ -8,6 +8,9 @@ Two suites, selectable with ``--suite`` (default runs both):
 * ``serving`` — the online service (paper §4): incremental vs
   from-scratch daily retrain latency over the rolling window, batched
   prediction throughput, and batched vs per-flow ``what_if``.
+* ``lint`` — whole-tree ``repro lint --project`` over this repo's own
+  source, cold cache vs warm, so the incremental analysis cache's
+  benefit is tracked like every other hot path.
 
 Results are written as a ``BENCH_<date>.json`` report and compared
 against the last committed baseline of the same profile.
@@ -25,9 +28,12 @@ from __future__ import annotations
 import datetime
 import json
 import os
+import tempfile
 import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..analysis import analyze_project
 from ..core.service import ServiceConfig, TipsyService
 from ..core.training import CountsAccumulator
 from ..experiments.scenario import Scenario, ScenarioParams
@@ -46,7 +52,7 @@ from .regression import (
 
 DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
 
-SUITES = ("all", "pipeline", "serving")
+SUITES = ("all", "pipeline", "serving", "lint")
 
 
 def _best_of(fn: Callable[[], object], rounds: int = 3) -> float:
@@ -223,6 +229,40 @@ def _bench_serving(report: BenchReport, profile: str, seed: int,
         report.meta[f"serving_{key}"] = str(value)
 
 
+def _bench_lint(report: BenchReport, rounds: int) -> None:
+    """Whole-tree project lint: cold cache vs warm cache throughput.
+
+    The target is this repo's own ``src/repro`` tree — the same corpus
+    CI lints — so the numbers move with the codebase the cache has to
+    keep up with.  Profiles share the corpus: a smoke lint over a
+    synthetic mini-tree would measure fixture size, not the analyzer.
+    """
+    src_root = Path(__file__).resolve().parents[2]
+    target = src_root / "repro"
+    probe = analyze_project([target], cache_dir=None, root=src_root)
+    n_files = probe.files_scanned
+    print(f"lint: {n_files} files under {target}, best of {rounds}")
+
+    def cold() -> None:
+        with tempfile.TemporaryDirectory() as fresh:
+            analyze_project([target], cache_dir=Path(fresh) / "cache",
+                            root=src_root)
+
+    cold_s = _best_of(cold, rounds)
+    report.record("lint_cold_files_per_s", n_files / cold_s)
+    print(f"  lint (cold cache):  {n_files / cold_s:8.0f} files/s")
+
+    with tempfile.TemporaryDirectory() as keep:
+        cache_dir = Path(keep) / "cache"
+        analyze_project([target], cache_dir=cache_dir, root=src_root)
+        warm_s = _best_of(
+            lambda: analyze_project([target], cache_dir=cache_dir,
+                                    root=src_root), rounds)
+    report.record("lint_warm_files_per_s", n_files / warm_s)
+    print(f"  lint (warm cache):  {n_files / warm_s:8.0f} files/s "
+          f"({cold_s / warm_s:.1f}x)")
+
+
 def run_bench(
     profile: str = "full",
     seed: int = 1,
@@ -260,6 +300,9 @@ def run_bench(
     if suite in ("all", "serving"):
         with obs.span("bench.serving"):
             _bench_serving(report, profile, seed, rounds)
+    if suite in ("all", "lint"):
+        with obs.span("bench.lint"):
+            _bench_lint(report, rounds)
     report.meta["obs"] = json.dumps(
         obs.snapshot().to_json(), sort_keys=True, separators=(",", ":"))
     if trace_out is not None:

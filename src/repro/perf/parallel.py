@@ -79,12 +79,17 @@ def _init_worker(params: ScenarioParams, obs_enabled: bool = False) -> None:
     scenario = _PARENT_SCENARIO
     if scenario is None or scenario.params != params:
         scenario = Scenario(params)
-    _WORKER["scenario"] = scenario
-    _WORKER["aggregators"] = {}
+    # RA501: _WORKER is the worker-local cache this initializer exists to
+    # populate — it is never read by the parent, only by shard functions
+    # running in the same child process.
+    _WORKER["scenario"] = scenario  # repro: noqa[RA501]
+    _WORKER["aggregators"] = {}  # repro: noqa[RA501]
 
 
 def _worker_aggregator(scenario: Scenario, strict: bool) -> HourlyAggregator:
-    aggregators: Dict[bool, HourlyAggregator] = _WORKER.setdefault(
+    # RA501: worker-local memo (see _init_worker); results return via the
+    # shard functions' pickled return values, never via this dict.
+    aggregators: Dict[bool, HourlyAggregator] = _WORKER.setdefault(  # repro: noqa[RA501]
         "aggregators", {})  # type: ignore[assignment]
     agg = aggregators.get(strict)
     if agg is None:

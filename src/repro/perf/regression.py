@@ -108,15 +108,34 @@ def compare_reports(current: BenchReport, baseline: BenchReport,
 
 def save_report(report: BenchReport,
                 directory: Union[str, Path]) -> Path:
-    """Write a report to ``<directory>/<report.filename>``."""
+    """Write a report to ``<directory>/<report.filename>``.
+
+    A same-date report of the same profile is *merged into*, not
+    overwritten: the new run wins where metric or meta names collide,
+    but numbers it did not measure survive.  That makes a single-suite
+    run (``--suite lint``) safe to save on a day whose baseline already
+    carries the other suites' metrics.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / report.filename
+    metrics: Dict[str, float] = {}
+    meta: Dict[str, str] = {}
+    if path.exists():
+        try:
+            previous = load_report(path)
+        except (ValueError, KeyError):
+            previous = None  # corrupt same-date file: overwrite it
+        if previous is not None:
+            metrics.update(previous.metrics)
+            meta.update(previous.meta)
+    metrics.update(report.metrics)
+    meta.update(report.meta)
     payload = {
         "date": report.date,
         "profile": report.profile,
-        "metrics": report.metrics,
-        "meta": report.meta,
+        "metrics": metrics,
+        "meta": meta,
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

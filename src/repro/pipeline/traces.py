@@ -18,14 +18,17 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Union
+from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List,
+                    Optional, Union)
 
 import numpy as np
 
-from ..core.training import CountsAccumulator
 from ..telemetry.ipfix import IpfixRecord
 from ..telemetry.metadata import MetadataStore
 from .aggregation import HourlyAggregator
+
+if TYPE_CHECKING:
+    from ..core.training import CountsAccumulator
 
 FIELDS = ("hour", "link_id", "src_prefix_id", "src_asn",
           "dest_prefix_id", "bytes")
@@ -76,7 +79,7 @@ def counts_from_trace(
     aggregator: Optional[HourlyAggregator] = None,
     start_hour: Optional[int] = None,
     end_hour: Optional[int] = None,
-) -> CountsAccumulator:
+) -> "CountsAccumulator":
     """Replay a trace through aggregation into training counts.
 
     Args:
@@ -90,6 +93,10 @@ def counts_from_trace(
         Finest-grain counts ready for ``CountsAccumulator.fit`` /
         ``EvaluationRunner.build_models``.
     """
+    # lazy import: the layer map (RA601) points core -> pipeline, and
+    # this convenience loader is the one spot pipeline needs core back
+    from ..core.training import CountsAccumulator
+
     aggregator = aggregator or HourlyAggregator(metadata)
     counts = CountsAccumulator()
     by_hour: Dict[int, List[IpfixRecord]] = {}

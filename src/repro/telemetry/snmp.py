@@ -21,9 +21,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional,
+                    Sequence, Set, Tuple)
 
-from ..pipeline.outages import Outage
+if TYPE_CHECKING:
+    from ..pipeline.outages import Outage
 
 
 @dataclass(frozen=True)
@@ -113,6 +115,11 @@ def infer_outages_from_snmp(readings: Iterable[SnmpReading],
     Consecutive 'down' readings on a link become an interval; intervals
     shorter than ``min_hours`` are dropped (flap suppression).
     """
+    # lazy import: telemetry sits below pipeline in the layer map
+    # (RA601); Outage is pipeline's comparison currency, constructed
+    # here only to score this poller against ground truth
+    from ..pipeline.outages import Outage
+
     by_link: Dict[int, List[SnmpReading]] = {}
     for reading in readings:
         by_link.setdefault(reading.link_id, []).append(reading)

@@ -1,0 +1,14 @@
+"""RA601 fixture: core importing down into util is allowed."""
+
+from demo.util.config import SCALE  # allowed: core -> util
+
+# a sanctioned exception, recorded inline with a why-comment
+from demo.forbidden.zone import secret  # repro: noqa[RA601]
+
+
+class Engine:
+    pass
+
+
+def spin(x):
+    return x * SCALE + secret()

@@ -1,0 +1,3 @@
+"""RA601 fixture: a leaf util module (imports nothing internal)."""
+
+SCALE = 3

@@ -1,0 +1,25 @@
+"""RA601 fixture: util reaching up into core."""
+
+from typing import TYPE_CHECKING
+
+from demo.core.engine import spin  # expect: RA601
+
+from ..core import engine  # expect: RA601
+
+if TYPE_CHECKING:
+    # TYPE_CHECKING imports are annotation-only: never a layer edge
+    from demo.core.engine import Engine
+
+
+def helper(x):
+    return spin(x) + engine.spin(x)
+
+
+def lazy_helper(x):
+    # function-scope import: the sanctioned cycle-break, never flagged
+    from demo.core.engine import spin as lazy_spin
+    return lazy_spin(x)
+
+
+def annotate(e: "Engine") -> "Engine":
+    return e

@@ -1,0 +1,49 @@
+"""RA502 fixture: lock-guarded attributes touched off-lock."""
+
+import threading
+
+
+class Meter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        # __init__ is exempt: the object is not shared yet
+        self._events = []
+        self._count = 0
+
+    def add(self, event):
+        with self._lock:
+            self._events.append(event)
+            self._count += 1
+
+    @property
+    def count(self):
+        return self._count  # expect: RA502
+
+    def reset(self):
+        self._events = []  # expect: RA502
+        with self._lock:
+            self._count = 0
+
+    def peek_unsafe(self):
+        # documented deliberate dirty read, suppressed inline
+        return self._count  # repro: noqa[RA502]
+
+    def _drain_locked(self):
+        # `_locked` suffix: the caller must hold self._lock
+        drained = list(self._events)
+        self._events.clear()
+        return drained
+
+    def drain(self):
+        with self._lock:
+            return self._drain_locked()
+
+
+class Unguarded:
+    """No lock attribute at all: RA502 never applies here."""
+
+    def __init__(self):
+        self.values = []
+
+    def add(self, value):
+        self.values.append(value)

@@ -1,0 +1,14 @@
+"""RA501 fixture: transitively-reached module-state mutation."""
+
+_SEEN = []
+
+
+def record(total):
+    # reached via worker.process_shard, which is pool-dispatched
+    _SEEN.append(total)  # expect: RA501
+
+
+def reset():
+    # also writes module state, but nothing dispatched reaches it...
+    global _SEEN
+    _SEEN = []

@@ -1,0 +1,37 @@
+"""RA501 fixture: pool dispatch reaching shared-state writes."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import helpers
+
+TOTALS = {}
+_BY_DESIGN = {}
+PARENT_STATE = {}
+
+
+def process_shard(shard):
+    total = sum(shard)
+    TOTALS[id(shard)] = total  # expect: RA501
+    helpers.record(total)
+    return total
+
+
+def warm_cache(shard):
+    # deliberate per-process cache: suppressed with a why-comment
+    _BY_DESIGN["last"] = shard  # repro: noqa[RA501]
+    return len(shard)
+
+
+def safe_parent(results):
+    # parent-side write: NOT reachable from any dispatch, never flagged
+    PARENT_STATE["merged"] = sum(results)
+    return PARENT_STATE
+
+
+def run(shards):
+    futures = []
+    with ProcessPoolExecutor() as pool:
+        for shard in shards:
+            futures.append(pool.submit(process_shard, shard))
+            futures.append(pool.submit(warm_cache, shard))
+    return safe_parent([f.result() for f in futures])

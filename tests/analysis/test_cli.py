@@ -74,6 +74,123 @@ def test_list_rules(capsys):
         assert code in out
 
 
+def test_list_rules_marks_project_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "RA501*" in out and "RA502*" in out and "RA601*" in out
+    assert "--project" in out
+
+
+def test_project_plus_changed_only_is_a_usage_error(capsys):
+    assert lint_main([str(FIXTURES), "--project", "--changed-only"]) == 2
+    assert "incompatible" in capsys.readouterr().err
+
+
+def test_project_mode_fires_semantic_rules_and_reports_cache(
+        tmp_path, capsys):
+    scenario = FIXTURES / "project" / "locks"
+    code = lint_main([str(scenario), "--project", "--format", "json",
+                      "--cache-dir", str(tmp_path / "cache"),
+                      "--select", "RA502"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts_by_code"].keys() == {"RA502"}
+    assert payload["cache"] == {"hits": 0,
+                                "misses": payload["files_scanned"]}
+
+
+def test_sarif_output_is_valid_for_code_scanning(capsys):
+    code = lint_main([str(FIXTURES / "ra301_mutable_default.py"),
+                      "--format", "sarif"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert {r["id"] for r in driver["rules"]} == {"RA301"}
+    location = run["results"][0]["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    assert location["region"]["startLine"] > 0
+
+
+# -- --changed-only ----------------------------------------------------------
+
+def _git_repo(tmp_path, branch="main"):
+    def git(*args):
+        subprocess.run(["git", *args], cwd=tmp_path, check=True,
+                       capture_output=True)
+    git("init", "-q", "-b", branch)
+    git("config", "user.email", "tests@example.invalid")
+    git("config", "user.name", "tests")
+    return git
+
+
+def test_changed_only_skips_unchanged_violations(tmp_path, monkeypatch,
+                                                 capsys):
+    git = _git_repo(tmp_path)
+    src = tmp_path / "src"
+    src.mkdir()
+    legacy = src / "legacy.py"
+    legacy.write_text('"""Doc."""\nimport random\nx = random.random()\n')
+    git("add", ".")
+    git("commit", "-q", "-m", "base")
+    git("checkout", "-q", "-b", "feature")
+    (src / "new.py").write_text('"""Doc."""\n')  # untracked and clean
+    monkeypatch.chdir(tmp_path)
+    # the legacy violation predates the merge-base, so the diff is clean
+    assert lint_main(["src", "--changed-only"]) == 0
+    # ... while a full lint still sees it
+    assert lint_main(["src"]) == 1
+    capsys.readouterr()
+
+
+def test_changed_only_flags_violations_in_the_diff(tmp_path, monkeypatch,
+                                                   capsys):
+    git = _git_repo(tmp_path)
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "ok.py").write_text('"""Doc."""\n')
+    git("add", ".")
+    git("commit", "-q", "-m", "base")
+    git("checkout", "-q", "-b", "feature")
+    bad = src / "bad.py"
+    bad.write_text('"""Doc."""\nimport random\nx = random.random()\n')
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src", "--changed-only"]) == 1
+    out = capsys.readouterr().out
+    assert "bad.py" in out and "ok.py" not in out
+
+
+def test_changed_only_with_no_changes_exits_clean(tmp_path, monkeypatch,
+                                                  capsys):
+    git = _git_repo(tmp_path)
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "ok.py").write_text('"""Doc."""\n')
+    git("add", ".")
+    git("commit", "-q", "-m", "base")
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src", "--changed-only"]) == 0
+    assert "0 files scanned" in capsys.readouterr().out
+
+
+def test_changed_only_without_a_merge_base_lints_everything(
+        tmp_path, monkeypatch, capsys):
+    git = _git_repo(tmp_path, branch="trunk")  # no main/origin ref
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "bad.py").write_text(
+        '"""Doc."""\nimport random\nx = random.random()\n')
+    git("add", ".")
+    git("commit", "-q", "-m", "base")
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src", "--changed-only"]) == 1
+    captured = capsys.readouterr()
+    assert "linting everything" in captured.err
+    assert "bad.py" in captured.out
+
+
 def test_repro_lint_subcommand_end_to_end():
     """`python -m repro lint src` — the exact CI invocation — is clean."""
     result = subprocess.run(
@@ -84,3 +201,16 @@ def test_repro_lint_subcommand_end_to_end():
     payload = json.loads(result.stdout)
     assert payload["clean"] is True
     assert payload["files_scanned"] > 50
+
+
+def test_repro_lint_project_subcommand_end_to_end():
+    """`python -m repro lint --project src` — the acceptance gate —
+    exits 0 on the repo's own tree, semantic rules included."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--project", "src",
+         "--no-cache", "--format", "json"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")})
+    assert result.returncode == 0, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["clean"] is True

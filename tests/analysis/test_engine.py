@@ -46,6 +46,58 @@ def test_suppressed_lines_parser():
     assert 1 not in marks
 
 
+# Multi-line statements: a suppression attaches to the *physical line
+# the violation is reported at* — the lambda's own line for a wrapped
+# dispatch call, the default value's line inside a decorated def's
+# signature — never to the statement's opening line as a whole.
+
+_WRAPPED_CALL = ('"""Doc."""\n'
+                 "def go(pool):\n"
+                 "    return pool.submit(\n"
+                 "        lambda x: x,{noqa}\n"
+                 "    )\n")
+
+_DECORATED_DEF = ('"""Doc."""\n'
+                  "import functools\n"
+                  "\n"
+                  "@functools.wraps(print){dec_noqa}\n"
+                  "def f(\n"
+                  "    x=[]{noqa},\n"
+                  "):\n"
+                  "    return x\n")
+
+
+def test_wrapped_call_reports_and_suppresses_on_the_lambda_line():
+    bare = _WRAPPED_CALL.format(noqa="")
+    violations = analyze_source(bare, Path("mod.py"))
+    assert [(v.line, v.code) for v in violations] == [(4, "RA101")]
+    on_reported = _WRAPPED_CALL.format(noqa="  # repro: noqa[RA101]")
+    assert analyze_source(on_reported, Path("mod.py")) == []
+
+
+def test_noqa_on_a_wrapped_calls_opening_line_does_not_leak_down():
+    opening = _WRAPPED_CALL.format(noqa="").replace(
+        "pool.submit(", "pool.submit(  # repro: noqa[RA101]")
+    violations = analyze_source(opening, Path("mod.py"))
+    assert [(v.line, v.code) for v in violations] == [(4, "RA101")]
+
+
+def test_decorated_def_reports_and_suppresses_on_the_default_line():
+    bare = _DECORATED_DEF.format(dec_noqa="", noqa="")
+    violations = analyze_source(bare, Path("mod.py"))
+    assert [(v.line, v.code) for v in violations] == [(6, "RA301")]
+    on_reported = _DECORATED_DEF.format(
+        dec_noqa="", noqa="  # repro: noqa[RA301]")
+    assert analyze_source(on_reported, Path("mod.py")) == []
+
+
+def test_noqa_on_a_decorator_line_does_not_cover_the_signature():
+    on_decorator = _DECORATED_DEF.format(
+        dec_noqa="  # repro: noqa[RA301]", noqa="")
+    violations = analyze_source(on_decorator, Path("mod.py"))
+    assert [(v.line, v.code) for v in violations] == [(6, "RA301")]
+
+
 # -- parse failures ----------------------------------------------------------
 
 def test_syntax_error_reports_ra000():

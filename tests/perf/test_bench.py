@@ -1,0 +1,32 @@
+"""Tests for the bench command's cheap, deterministic parts.
+
+The pipeline/serving suites are exercised by CI's bench-smoke job (they
+build whole scenarios — too slow for tier-1); the lint suite analyzes a
+tree that is already in memory-cache-friendly shape, so its wiring is
+testable here directly.
+"""
+
+import pytest
+
+from repro.perf.bench import SUITES, _bench_lint, run_bench
+from repro.perf.regression import BenchReport
+
+
+def test_lint_is_a_declared_suite():
+    assert "lint" in SUITES
+
+
+def test_unknown_suite_rejected():
+    with pytest.raises(SystemExit, match="--suite"):
+        run_bench(suite="bogus")
+
+
+def test_bench_lint_records_cold_and_warm_throughput():
+    report = BenchReport(date="2026-08-06")
+    _bench_lint(report, rounds=1)
+    cold = report.metrics["lint_cold_files_per_s"]
+    warm = report.metrics["lint_warm_files_per_s"]
+    assert cold > 0.0
+    # the warm pass skips parsing and analysis entirely — even a single
+    # noisy round must beat the cold pass
+    assert warm > cold

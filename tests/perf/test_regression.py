@@ -53,6 +53,36 @@ class TestBenchReport:
         assert payload["profile"] == "full"
 
 
+class TestMergeOnSave:
+    def test_same_date_save_merges_metrics(self, tmp_path):
+        save_report(report(stream=10.0, counts=5.0), tmp_path)
+        path = save_report(report(stream=12.0, lint=99.0), tmp_path)
+        merged = load_report(path)
+        assert merged.metrics == {"stream": 12.0, "counts": 5.0,
+                                  "lint": 99.0}
+
+    def test_merge_keeps_old_meta_and_new_wins_on_collision(self, tmp_path):
+        first = report(stream=1.0)
+        first.meta = {"cpus": "4", "workers": "2"}
+        save_report(first, tmp_path)
+        second = report(lint=2.0)
+        second.meta = {"cpus": "8"}
+        merged = load_report(save_report(second, tmp_path))
+        assert merged.meta == {"cpus": "8", "workers": "2"}
+
+    def test_corrupt_same_date_file_is_overwritten(self, tmp_path):
+        path = tmp_path / report().filename
+        path.write_text("{not json")
+        merged = load_report(save_report(report(stream=3.0), tmp_path))
+        assert merged.metrics == {"stream": 3.0}
+
+    def test_different_profiles_never_merge(self, tmp_path):
+        save_report(report(stream=1.0), tmp_path)
+        smoke = load_report(
+            save_report(report(profile="smoke", lint=2.0), tmp_path))
+        assert smoke.metrics == {"lint": 2.0}
+
+
 class TestFindBaseline:
     def test_latest_of_matching_profile(self, tmp_path):
         save_report(report(date="2026-07-01", stream=1.0), tmp_path)
