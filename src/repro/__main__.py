@@ -15,6 +15,8 @@ Commands:
 * ``obs`` — run an instrumented example workload and export its metrics
   snapshot (text / JSON / Prometheus) and span trace
   (``docs/observability.md``).
+* ``snapshot`` — save, load (with byte-identical verification) and
+  inspect persistent service state snapshots (``docs/storage.md``).
 """
 
 from __future__ import annotations
@@ -174,6 +176,12 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return run_obs(args)
 
 
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    from .store.cli import run_snapshot
+
+    return run_snapshot(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full CLI parser (also introspected by the docs checker)."""
     parser = argparse.ArgumentParser(
@@ -218,7 +226,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seconds-fast CI profile (small scenario)")
     p_bench.add_argument("--seed", type=int, default=1)
     p_bench.add_argument("--suite",
-                         choices=("all", "pipeline", "serving", "lint"),
+                         choices=("all", "pipeline", "serving", "lint",
+                                  "store"),
                          default="all",
                          help="which measurements to run (default: all)")
     p_bench.add_argument("--workers", type=int, default=None,
@@ -250,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
     from .obs.cli import add_obs_arguments
     add_obs_arguments(p_obs)
     p_obs.set_defaults(func=cmd_obs)
+
+    p_snap = sub.add_parser(
+        "snapshot", help="save, load and inspect service state snapshots")
+    from .store.cli import add_snapshot_arguments
+    add_snapshot_arguments(p_snap)
+    p_snap.set_defaults(func=cmd_snapshot)
 
     return parser
 

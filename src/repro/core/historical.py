@@ -28,9 +28,13 @@ re-finalize of the whole model.
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple, cast
+
+import numpy as np
 
 from ..pipeline.records import FlowContext
+from ..store.codec import (decode_ragged, encode_keyed_table, encode_ragged,
+                           key_column_names)
 from ..util.exactsum import exact_add, exact_sub, exact_value
 from .base import NO_LINKS, Prediction, TrainableModel
 from .features import FeatureSet
@@ -224,6 +228,79 @@ class HistoricalModel(TrainableModel):
     def group_key(self, context: FlowContext) -> TupleKey:
         """Predictions are constant per feature tuple (batching key)."""
         return self.feature_set.key(context)
+
+    # -- columnar persistence --------------------------------------------------
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """The trained counts as aligned columns (``repro.store``).
+
+        One row per (tuple, link) pair in training order: ``k0..k<n-1>``
+        are the feature-key fields, ``k<n>`` the link id, ``value`` the
+        byte count.  In exact mode the Shewchuk partials behind each sum
+        ride along as a ragged column (``partial_values`` +
+        ``partial_offsets``), so a restored model can keep
+        :meth:`unobserve`-ing — the rolling window resumes exactly where
+        it left off, not merely with the same rounded counts.
+        """
+        width = len(self.feature_set.fields)
+        flat: Dict[Tuple[int, ...], float] = {}
+        partial_rows: List[List[float]] = []
+        for key, links in self._counts.items():
+            plinks = (self._partials.get(key)
+                      if self._partials is not None else None)
+            for link_id, bytes_ in links.items():
+                flat[cast("Tuple[int, ...]", (*key, link_id))] = bytes_
+                if plinks is not None:
+                    partial_rows.append(plinks[link_id])
+        arrays = encode_keyed_table(flat, width + 1)
+        if self._partials is not None:
+            values, offsets = encode_ragged(partial_rows)
+            arrays["partial_values"] = values
+            arrays["partial_offsets"] = offsets
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: Mapping[str, np.ndarray],
+                    feature_set: FeatureSet, name: Optional[str] = None,
+                    keep_top: Optional[int] = None,
+                    exact: bool = False) -> "HistoricalModel":
+        """Rebuild a model from :meth:`to_arrays` output, rankings ready.
+
+        ``exact=True`` requires the partials columns (written by an
+        exact-mode model).  Raises ``KeyError``/``ValueError`` on a
+        column set that does not match — snapshot readers treat that as
+        corruption and degrade to a rebuild.
+        """
+        model = cls(feature_set, name=name, keep_top=keep_top, exact=exact)
+        width = len(feature_set.fields)
+        names = key_column_names(width + 1)
+        fields = [arrays[column].tolist() for column in names]
+        values = arrays["value"].tolist()
+        if any(len(column) != len(values) for column in fields):
+            raise ValueError("misaligned model columns")
+        partial_rows: Optional[List[List[float]]] = None
+        if exact:
+            partial_rows = decode_ragged(arrays["partial_values"],
+                                         arrays["partial_offsets"])
+            if len(partial_rows) != len(values):
+                raise ValueError("partials misaligned with counts")
+        counts = model._counts
+        partials = model._partials
+        for row, packed in enumerate(zip(*fields, values)):
+            key = cast(TupleKey, tuple(packed[:width]))
+            link_id = packed[width]
+            links = counts.get(key)
+            if links is None:
+                links = counts[key] = {}
+            links[link_id] = packed[-1]
+            if partial_rows is not None:
+                assert partials is not None
+                plinks = partials.get(key)
+                if plinks is None:
+                    plinks = partials[key] = {}
+                plinks[link_id] = partial_rows[row]
+        model.finalize()
+        return model
 
     # -- introspection ----------------------------------------------------------
 

@@ -8,14 +8,24 @@ inspectable, diffable and safe to load.
 Geo-augmented models need the WAN at load time (the link geography is
 topology, not model state); pass ``wan=`` to :func:`model_from_dict` /
 :func:`load_model` when loading them.
+
+Alongside the JSON artifacts, :func:`train_models_from_store` is the
+*out-of-core* training path over the columnar day segments that
+``TipsyService.snapshot`` writes (``repro.store``, ``docs/storage.md``):
+it streams one day segment at a time — load, project onto each grain,
+fold into the models, free — so a multi-month window trains in memory
+bounded by one day plus the models, not by the window.  Corrupt or
+missing segments are skipped and reported, per the store's
+degrade-to-rebuild contract.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..store import SegmentStore
 from ..topology.wan import CloudWAN
 from .base import IngressModel
 from .ensemble import SequentialEnsemble
@@ -30,6 +40,7 @@ from .geo_augment import GeoAugmentedModel
 from .historical import HistoricalModel
 from .naive_bayes import NaiveBayesModel
 from .oracle import OracleModel
+from .training import CountsAccumulator
 
 FORMAT_VERSION = 1
 
@@ -165,3 +176,59 @@ def load_model(path: Union[str, Path],
                wan: Optional[CloudWAN] = None) -> IngressModel:
     """Load a model artifact written by :func:`save_model`."""
     return model_from_dict(json.loads(Path(path).read_text()), wan)
+
+
+# -- out-of-core training over columnar day segments -------------------------
+
+
+def train_models_from_store(
+    store: SegmentStore,
+    feature_sets: Sequence[FeatureSet],
+    exact: bool = True,
+    days: Optional[Sequence[int]] = None,
+) -> Tuple[Tuple[HistoricalModel, ...], Tuple[int, ...], Tuple[int, ...]]:
+    """Train one :class:`HistoricalModel` per grain by streaming a store.
+
+    Iterates the store's ``day_counts`` segments in day order, holding
+    only one day's counts in memory at a time; each day is projected
+    onto every grain and folded into the models with exact accumulation
+    (``exact=True``, the default), so the result is bit-identical to an
+    in-memory rebuild over the same days.  ``days`` restricts training
+    to a subset (e.g. the service's trained window, excluding the
+    still-accumulating current day); the default uses every day segment.
+
+    Returns ``(models, days_used, days_lost)`` — a segment that fails
+    the store's integrity checks is skipped and reported in
+    ``days_lost``, never raised, so callers can replay the lost days
+    from the pipeline.
+    """
+    models = tuple(HistoricalModel(fs, exact=exact) for fs in feature_sets)
+    used: List[int] = []
+    lost: List[int] = []
+    wanted = None if days is None else frozenset(days)
+    infos = sorted(
+        (info for info in store.segments() if info.kind == "day_counts"),
+        key=lambda info: int(info.meta.get("day", "-1")))
+    for info in infos:
+        if wanted is not None \
+                and int(info.meta.get("day", "-1")) not in wanted:
+            continue
+        day = int(info.meta.get("day", "-1"))
+        arrays = store.read(info.name)
+        if arrays is None:
+            lost.append(day)
+            continue
+        try:
+            counts = CountsAccumulator.from_arrays(arrays)
+        except (KeyError, ValueError):
+            lost.append(day)
+            continue
+        for model in models:
+            projection = counts.project(model.feature_set)
+            for key, links in projection.items():
+                for link_id, bytes_ in links.items():
+                    model.observe_aggregate(key, link_id, bytes_)
+        used.append(day)
+    for model in models:
+        model.finalize()
+    return models, tuple(used), tuple(lost)

@@ -24,19 +24,30 @@ Serving is *batched*: queries group flows by the answering model's
 feature key and answer each distinct key once (the paper's tuple space
 is far smaller than its flow space), through a bounded LRU memo that is
 invalidated on every retrain.
+
+State is *persistent*: :meth:`TipsyService.snapshot` writes the whole
+rolling window — per-day counts and the exact base-model state — as
+columnar segments (``repro.store``), and :meth:`TipsyService.restore`
+resumes from them in a fresh process with bit-identical answers and
+bit-identical future retrains.  Corrupt or missing segments degrade to
+a rebuild from whatever survives (``docs/storage.md``); restarting a
+daemon costs a segment load, not a window recomputation.
 """
 
 from __future__ import annotations
 
+import json
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import (AbstractSet, Dict, FrozenSet, List, Optional, Sequence,
-                    Tuple)
+                    Tuple, Union)
 
 import numpy as np
 
 from ..obs import runtime as obs
 from ..pipeline.records import AggRecord, FlowContext
+from ..store import SegmentStore
 from ..topology.wan import CloudWAN
 from .base import NO_LINKS, IngressModel, Prediction
 from .ensemble import SequentialEnsemble
@@ -47,6 +58,42 @@ from .training import CountsAccumulator
 
 #: one day's counts projected onto a feature grain: key -> link -> bytes
 GrainProjection = Dict[Tuple[object, ...], Dict[int, float]]
+
+#: snapshot layout version, stamped into the store manifest meta; bump
+#: on any change to segment naming, column sets, or the state dict
+SNAPSHOT_FORMAT = 1
+
+
+class SnapshotError(RuntimeError):
+    """The directory holds no usable snapshot (absent/corrupt manifest).
+
+    Raised only when there is nothing to restore *from* — per-segment
+    corruption never raises; it degrades (see :class:`RestoreReport`).
+    """
+
+
+@dataclass(frozen=True)
+class RestoreReport:
+    """What a snapshot restore recovered, lost, and had to rebuild.
+
+    ``days_lost`` lists day segments that failed the store's integrity
+    checks (missing file, bad checksum, version skew, undecodable
+    columns) — the caller can replay exactly those days from the
+    pipeline.  ``models_rebuilt`` is True when the trained model
+    segments could not be used (corrupt, absent, or referencing a lost
+    day) and the suite was rebuilt from the surviving day counts
+    instead.
+    """
+
+    days_restored: Tuple[int, ...]
+    days_lost: Tuple[int, ...]
+    models_rebuilt: bool
+    degraded: Tuple[Tuple[str, str], ...]
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was lost and nothing had to be rebuilt."""
+        return not self.days_lost and not self.models_rebuilt
 
 
 @dataclass
@@ -126,6 +173,8 @@ class TipsyService:
         self._trained_on: Tuple[int, ...] = ()
         self.retrain_count = 0
         self._memo = PredictionMemo(self.config.memo_size)
+        #: set by :meth:`restore`; None on a service built from scratch
+        self.restore_report: Optional[RestoreReport] = None
 
     # -- ingestion ------------------------------------------------------------
 
@@ -213,16 +262,7 @@ class TipsyService:
             for model in base:
                 model.finalize()
             self._base = base
-            ap, al, a = base
-            self._models = {
-                "Hist_AP": ap,
-                "Hist_AL": al,
-                "Hist_A": a,
-                "Hist_AL+G": GeoAugmentedModel(al, self.wan,
-                                               name="Hist_AL+G"),
-                "Hist_AP/AL/A": SequentialEnsemble([ap, al, a],
-                                                   name="Hist_AP/AL/A"),
-            }
+            self._install_models(base)
         else:
             trained = set(self._trained_on)
             wanted = set(target)
@@ -241,6 +281,19 @@ class TipsyService:
         self._trained_on = target
         self.retrain_count += 1
         self._memo.clear()
+
+    def _install_models(self, base: Tuple[HistoricalModel, ...]) -> None:
+        """Build the served model dict around a base suite (AP, AL, A)."""
+        ap, al, a = base
+        self._models = {
+            "Hist_AP": ap,
+            "Hist_AL": al,
+            "Hist_A": a,
+            "Hist_AL+G": GeoAugmentedModel(al, self.wan,
+                                           name="Hist_AL+G"),
+            "Hist_AP/AL/A": SequentialEnsemble([ap, al, a],
+                                               name="Hist_AP/AL/A"),
+        }
 
     @property
     def trained_days(self) -> Tuple[int, ...]:
@@ -264,6 +317,155 @@ class TipsyService:
             if counts is not None:
                 merged.merge(counts)
         return merged
+
+    # -- snapshot / restore -------------------------------------------------------
+
+    def snapshot(self, directory: Union[str, Path]) -> SegmentStore:
+        """Persist the full rolling-window state as a columnar store.
+
+        Writes one ``day_counts`` segment per window day (finest-grain
+        counts, accumulation order preserved) and one ``model_grain``
+        segment per base model (counts *plus* the exact Shewchuk
+        partials), under a checksummed manifest carrying the service
+        config and scalars.  Everything a fresh process needs to resume
+        the window exactly where it left off — :meth:`restore` of an
+        intact snapshot is bit-identical to never having restarted.
+
+        Returns the written :class:`~repro.store.SegmentStore`.
+        """
+        with obs.timed("service.snapshot"):
+            store = SegmentStore(directory, create=True)
+            for day, counts in self._days.items():
+                arrays = counts.to_arrays()
+                store.write(f"day-{day:06d}", arrays, kind="day_counts",
+                            rows=len(arrays["value"]),
+                            meta={"day": str(day)})
+            if self._base is not None:
+                for model in self._base:
+                    arrays = model.to_arrays()
+                    store.write(f"model-{model.feature_set.name}", arrays,
+                                kind="model_grain",
+                                rows=len(arrays["value"]),
+                                meta={"features": model.feature_set.name})
+            store.set_meta({
+                "snapshot_format": str(SNAPSHOT_FORMAT),
+                "config": json.dumps(asdict(self.config), sort_keys=True),
+                "state": json.dumps({
+                    "current_day": self._current_day,
+                    "last_hour": self._last_hour,
+                    "trained_on": list(self._trained_on),
+                    "retrain_count": self.retrain_count,
+                    "has_models": self._base is not None,
+                }, sort_keys=True),
+            })
+        if obs.enabled():
+            obs.count("service.snapshot.writes")
+            obs.gauge_set("service.snapshot.bytes",
+                          float(store.total_bytes()))
+        return store
+
+    @classmethod
+    def _load_base(cls, store: SegmentStore,
+                   ) -> Optional[Tuple[HistoricalModel, ...]]:
+        """The snapshotted base suite, or None if any grain is degraded."""
+        models: List[HistoricalModel] = []
+        for fs in cls._GRAINS:
+            arrays = store.read(f"model-{fs.name}")
+            if arrays is None:
+                return None
+            try:
+                model = HistoricalModel.from_arrays(arrays, fs, exact=True)
+            except (KeyError, ValueError):
+                return None
+            models.append(model)
+        return tuple(models)
+
+    @classmethod
+    def restore(cls, directory: Union[str, Path], wan: CloudWAN,
+                rebuild_models: bool = False) -> "TipsyService":
+        """Resume a service from a :meth:`snapshot` directory.
+
+        An intact snapshot restores bit-identically: the returned
+        service answers ``predict_batch``/``what_if`` byte-equal to the
+        uninterrupted original *and* keeps doing so as ingestion
+        continues (the exact partials make future window evictions
+        invert precisely).  Per-segment corruption degrades instead of
+        erroring: lost days are dropped (and reported), a damaged model
+        segment triggers a rebuild from the surviving day counts —
+        ``rebuild_models=True`` forces that path, which is also the
+        out-of-core benchmark's measured case.  Check
+        ``service.restore_report`` for what happened; only an unusable
+        manifest raises :class:`SnapshotError`.
+        """
+        with obs.timed("service.restore"):
+            store = SegmentStore(directory)
+            state_raw = store.meta.get("state")
+            if (store.meta.get("snapshot_format") != str(SNAPSHOT_FORMAT)
+                    or state_raw is None):
+                raise SnapshotError(
+                    f"{directory}: no usable snapshot (manifest absent, "
+                    f"corrupt, or version-skewed)")
+            config_raw = store.meta.get("config")
+            try:
+                config = (ServiceConfig(**json.loads(config_raw))
+                          if config_raw else None)
+                state = json.loads(state_raw)
+            except (TypeError, ValueError) as error:
+                raise SnapshotError(
+                    f"{directory}: snapshot metadata unusable "
+                    f"({error})") from None
+            service = cls(wan, config)
+            days_restored: List[int] = []
+            days_lost: List[int] = []
+            day_infos = sorted(
+                (info for info in store.segments()
+                 if info.kind == "day_counts"),
+                key=lambda info: int(info.meta.get("day", "-1")))
+            for info in day_infos:
+                day = int(info.meta.get("day", "-1"))
+                arrays = store.read(info.name)
+                if arrays is None:
+                    days_lost.append(day)
+                    continue
+                try:
+                    counts = CountsAccumulator.from_arrays(arrays)
+                except (KeyError, ValueError):
+                    days_lost.append(day)
+                    continue
+                service._days[day] = counts
+                days_restored.append(day)
+            service._current_day = state.get("current_day")
+            service._last_hour = state.get("last_hour")
+            trained_on = tuple(int(day)
+                               for day in state.get("trained_on", []))
+            base = None
+            if (not rebuild_models and state.get("has_models")
+                    and not set(days_lost).intersection(trained_on)):
+                base = cls._load_base(store)
+            models_rebuilt = False
+            if base is not None:
+                service._base = base
+                service._install_models(base)
+                service._trained_on = trained_on
+                # projections back future evictions; recomputing them
+                # from the restored counts reproduces the originals
+                # exactly (same dicts, same iteration order)
+                for day in trained_on:
+                    if day in service._days:
+                        service._project_day(day)
+            elif service._days:
+                models_rebuilt = True
+                service.retrain()
+            service.retrain_count = int(state.get("retrain_count", 0))
+            service.restore_report = RestoreReport(
+                days_restored=tuple(days_restored),
+                days_lost=tuple(days_lost),
+                models_rebuilt=models_rebuilt,
+                degraded=tuple(store.degraded))
+        if obs.enabled():
+            obs.count("service.restore.count")
+            obs.count("service.restore.days_lost", float(len(days_lost)))
+        return service
 
     # -- queries ------------------------------------------------------------------
 

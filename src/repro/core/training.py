@@ -10,12 +10,13 @@ model suite costs one streaming pass plus cheap in-memory fits.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, \
-    Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, \
+    Sequence, Tuple
 
 import numpy as np
 
 from ..pipeline.records import AggColumns, AggRecord, FlowContext
+from ..store.codec import encode_keyed_table, key_column_names
 from .base import TrainableModel
 
 if TYPE_CHECKING:  # avoids the pipeline <-> core import cycle at runtime
@@ -158,6 +159,50 @@ class CountsAccumulator:
         """Drop one (context, link) key; returns the bytes it held."""
         self.drain()
         return self.counts.pop((context, link_id), 0.0)
+
+    # -- columnar persistence ----------------------------------------------
+
+    #: key width of the columnar form: the 5 FlowContext fields + link id
+    _ARRAY_KEY_WIDTH = len(FlowContext._fields) + 1
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """The accumulated counts as aligned columns (``repro.store``).
+
+        One row per (flow context, link) key, in accumulation order:
+        ``k0..k4`` are the context fields, ``k5`` the link id, ``value``
+        the byte count.  Row order is part of the format — downstream
+        folds (:meth:`project`, model fits) iterate the counts dict, so
+        :meth:`from_arrays` must rebuild it in the same order for a
+        restored accumulator to behave bit-identically.
+        """
+        self.drain()
+        flat: Dict[Tuple[int, ...], float] = {
+            (*context, link_id): bytes_
+            for (context, link_id), bytes_ in self.counts.items()}
+        return encode_keyed_table(flat, self._ARRAY_KEY_WIDTH)
+
+    @classmethod
+    def from_arrays(cls, arrays: Mapping[str, np.ndarray],
+                    ) -> "CountsAccumulator":
+        """Rebuild an accumulator from :meth:`to_arrays` output.
+
+        Raises ``KeyError``/``ValueError`` on a column set that does not
+        match the format — snapshot readers treat that as corruption and
+        degrade to a rebuild.
+        """
+        acc = cls()
+        width = len(FlowContext._fields)
+        names = key_column_names(cls._ARRAY_KEY_WIDTH)
+        fields = [arrays[name].tolist() for name in names]
+        values = arrays["value"].tolist()
+        if any(len(column) != len(values) for column in fields):
+            raise ValueError("misaligned count columns")
+        contexts = map(tuple.__new__, itertools.repeat(FlowContext),
+                       zip(*fields[:width]))
+        counts = acc.counts
+        for context, link_id, bytes_ in zip(contexts, fields[width], values):
+            counts[(context, link_id)] = bytes_
+        return acc
 
     def total_bytes(self) -> float:
         self.drain()

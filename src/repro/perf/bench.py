@@ -1,6 +1,6 @@
 """The ``repro bench`` command: measure, record, compare.
 
-Three suites, selectable with ``--suite`` (default runs all):
+Four suites, selectable with ``--suite`` (default runs all):
 
 * ``pipeline`` — ingestion throughput: telemetry streaming, per-record
   vs vectorised aggregation, columnar training counts, and the
@@ -11,6 +11,10 @@ Three suites, selectable with ``--suite`` (default runs all):
 * ``lint`` — whole-tree ``repro lint --project`` over this repo's own
   source, cold cache vs warm, so the incremental analysis cache's
   benefit is tracked like every other hot path.
+* ``store`` — the persistence boundary (``repro.store``,
+  ``docs/storage.md``): snapshot write throughput, restart latency to
+  the first served prediction, and out-of-core retrain throughput over
+  the columnar day segments.
 
 Results are written as a ``BENCH_<date>.json`` report and compared
 against the last committed baseline of the same profile.
@@ -28,14 +32,18 @@ from __future__ import annotations
 import datetime
 import json
 import os
+import shutil
 import tempfile
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..analysis import analyze_project
+from ..core.features import FEATURES_A, FEATURES_AL, FEATURES_AP
+from ..core.persistence import train_models_from_store
 from ..core.service import ServiceConfig, TipsyService
 from ..core.training import CountsAccumulator
+from ..store import SegmentStore
 from ..experiments.scenario import Scenario, ScenarioParams
 from ..obs import runtime as obs
 from ..pipeline.aggregation import HourlyAggregator
@@ -52,7 +60,7 @@ from .regression import (
 
 DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
 
-SUITES = ("all", "pipeline", "serving", "lint")
+SUITES = ("all", "pipeline", "serving", "lint", "store")
 
 
 def _best_of(fn: Callable[[], object], rounds: int = 3) -> float:
@@ -263,6 +271,69 @@ def _bench_lint(report: BenchReport, rounds: int) -> None:
           f"({cold_s / warm_s:.1f}x)")
 
 
+def _bench_store(report: BenchReport, profile: str, seed: int,
+                 rounds: int) -> None:
+    """Persistence: snapshot write rate, restart latency, out-of-core.
+
+    Reuses the serving scenario so the persisted state is the same
+    rolling window the serving suite measures — the restart number is
+    "this service, back from disk", not a toy.
+    """
+    t_build = time.perf_counter()
+    scenario, window_days = _serving_setup(profile, seed)
+    service = TipsyService(
+        scenario.wan, ServiceConfig(training_window_days=window_days))
+    for cols in scenario.stream(0, scenario.horizon_hours):
+        service.ingest_hour(cols.hour, scenario.agg_records_for(cols))
+    print(f"store: {len(service.trained_days)} trained days, "
+          f"{window_days}-day window "
+          f"(built in {time.perf_counter() - t_build:.1f}s)")
+
+    with tempfile.TemporaryDirectory() as root:
+        target = Path(root) / "snap"
+
+        def snap() -> None:
+            # rewrite from scratch each round: measure the write path,
+            # not an overwrite of already-allocated files
+            shutil.rmtree(target, ignore_errors=True)
+            service.snapshot(target)
+
+        snap()
+        nbytes = SegmentStore(target).total_bytes()
+        snap_s = _best_of(snap, rounds)
+        report.record("store_snapshot_mb_per_s", nbytes / snap_s / 1e6)
+        print(f"  snapshot (write):   {nbytes / snap_s / 1e6:8.1f} MB/s "
+              f"({nbytes / 1e6:.1f} MB)")
+
+        # restart latency: cold store -> restored service -> first
+        # prediction actually served (the operator-facing number)
+        context = scenario.flow_contexts[0]
+
+        def restart() -> None:
+            restored = TipsyService.restore(target, scenario.wan)
+            restored.predict(context)
+
+        restart_s = _best_of(restart, rounds)
+        report.record("store_restarts_per_s", 1.0 / restart_s)
+        print(f"  restore+predict:    {restart_s * 1e3:8.1f} ms "
+              f"({1.0 / restart_s:.2f} restarts/s)")
+
+        # out-of-core retrain: stream day segments one at a time into a
+        # fresh model suite (memory bounded by one day, not the window)
+        store = SegmentStore(target)
+        n_days = sum(1 for info in store.segments()
+                     if info.kind == "day_counts")
+
+        def retrain_from_disk() -> None:
+            train_models_from_store(SegmentStore(target),
+                                    (FEATURES_AP, FEATURES_AL, FEATURES_A))
+
+        oo_s = _best_of(retrain_from_disk, rounds)
+        report.record("store_out_of_core_days_per_s", n_days / oo_s)
+        print(f"  out-of-core train:  {n_days / oo_s:8.1f} days/s "
+              f"({n_days} days)")
+
+
 def run_bench(
     profile: str = "full",
     seed: int = 1,
@@ -303,6 +374,9 @@ def run_bench(
     if suite in ("all", "lint"):
         with obs.span("bench.lint"):
             _bench_lint(report, rounds)
+    if suite in ("all", "store"):
+        with obs.span("bench.store"):
+            _bench_store(report, profile, seed, rounds)
     report.meta["obs"] = json.dumps(
         obs.snapshot().to_json(), sort_keys=True, separators=(",", ":"))
     if trace_out is not None:

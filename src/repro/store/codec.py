@@ -1,0 +1,110 @@
+"""Columnar codec: tuple-keyed byte counts <-> aligned numpy arrays.
+
+Everything TIPSY persists is, at heart, one of two shapes:
+
+* a *keyed table* — ``{(int, ...): float}`` with a fixed key width
+  (flow-context counts, feature-grain model counts), stored as one
+  ``int64`` column per key field plus one ``float64`` value column;
+* a *ragged column* — a list of variable-length float lists (the exact
+  Shewchuk partials behind each model sum), stored as a flat ``float64``
+  value array plus an ``int64`` offsets array (CSR-style:
+  ``values[offsets[i]:offsets[i + 1]]`` is row ``i``).
+
+Both encodings are lossless for the types the pipeline produces:
+key fields are ordinal-encoded ints (``int64``-representable by
+construction) and byte counts are ``float64`` already, so a round trip
+restores *the same floats in the same order* — the property the
+snapshot/restore bit-identical guarantee rests on, and the property the
+hypothesis suite in ``tests/store/test_codec.py`` hammers.
+
+Dict iteration order is part of the contract: rows are emitted in the
+source dict's insertion order and decoded back in row order, so a
+restored dict iterates exactly like the one that was saved.  Downstream
+folds (``CountsAccumulator.project``, ranking totals) iterate those
+dicts, which makes order preservation necessary for bit-identical
+restores, not a nicety.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "encode_keyed_table",
+    "decode_keyed_table",
+    "encode_ragged",
+    "decode_ragged",
+    "key_column_names",
+]
+
+#: prefix of generated key-column names: k0, k1, ...
+_KEY_PREFIX = "k"
+
+
+def key_column_names(width: int) -> Tuple[str, ...]:
+    """The column names a ``width``-field key encodes to."""
+    return tuple(f"{_KEY_PREFIX}{i}" for i in range(width))
+
+
+def encode_keyed_table(table: Mapping[Tuple[int, ...], float],
+                       width: int) -> Dict[str, np.ndarray]:
+    """Encode ``{key tuple: value}`` as aligned columns.
+
+    Returns ``{"k0": int64, ..., "k<width-1>": int64, "value": float64}``
+    with one row per mapping entry, in the mapping's iteration order.
+    Every key must have exactly ``width`` int fields.
+    """
+    if width <= 0:
+        raise ValueError(f"key width must be positive, got {width}")
+    n = len(table)
+    keys = np.empty((n, width), dtype=np.int64)
+    values = np.empty(n, dtype=np.float64)
+    for row, (key, value) in enumerate(table.items()):
+        if len(key) != width:
+            raise ValueError(
+                f"key {key!r} has {len(key)} fields, expected {width}")
+        keys[row] = key
+        values[row] = value
+    columns: Dict[str, np.ndarray] = {
+        name: np.ascontiguousarray(keys[:, i])
+        for i, name in enumerate(key_column_names(width))
+    }
+    columns["value"] = values
+    return columns
+
+
+def decode_keyed_table(columns: Mapping[str, np.ndarray], width: int,
+                       ) -> Iterator[Tuple[Tuple[int, ...], float]]:
+    """Yield ``(key tuple, value)`` rows from :func:`encode_keyed_table`
+    output, in row (= original insertion) order."""
+    names = key_column_names(width)
+    fields = [columns[name].tolist() for name in names]
+    values = columns["value"].tolist()
+    for row in zip(*fields, values):
+        yield tuple(row[:-1]), row[-1]
+
+
+def encode_ragged(rows: Sequence[Sequence[float]],
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Encode variable-length float rows as ``(values, offsets)``.
+
+    ``offsets`` has ``len(rows) + 1`` entries; row ``i`` is
+    ``values[offsets[i]:offsets[i + 1]]``.
+    """
+    offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    for i, row in enumerate(rows):
+        offsets[i + 1] = offsets[i] + len(row)
+    values = np.empty(int(offsets[-1]), dtype=np.float64)
+    for i, row in enumerate(rows):
+        values[int(offsets[i]):int(offsets[i + 1])] = row
+    return values, offsets
+
+
+def decode_ragged(values: np.ndarray,
+                  offsets: np.ndarray) -> List[List[float]]:
+    """Invert :func:`encode_ragged` (plain Python float lists back)."""
+    flat = values.tolist()
+    bounds = offsets.tolist()
+    return [flat[lo:hi] for lo, hi in zip(bounds, bounds[1:])]

@@ -1,0 +1,12 @@
+"""Store-test isolation: the obs switch is a process global."""
+
+import pytest
+
+from repro.obs import runtime as obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    obs.reset()
+    yield
+    obs.reset()

@@ -94,3 +94,48 @@ class TestBenchCommand:
                      "--rounds", "1", "--no-save", "--suite", "pipeline",
                      "--out-dir", str(tmp_path)]) == 1
         assert "REGRESSION" in capsys.readouterr().out
+
+
+class TestSnapshotCommand:
+    def test_save_load_verify_inspect(self, capsys, tmp_path):
+        target = str(tmp_path / "snap")
+        assert main(["snapshot", "save", "--dir", target, "--seed", "5",
+                     "--days", "5", "--window", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "day segments" in out
+
+        assert main(["snapshot", "inspect", "--dir", target]) == 0
+        out = capsys.readouterr().out
+        assert "day_counts" in out
+        assert "model_grain" in out
+        assert "ok" in out
+
+        assert main(["snapshot", "load", "--dir", target, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "models resumed" in out
+        assert "verify OK" in out
+
+    def test_load_degrades_on_corruption(self, capsys, tmp_path):
+        target = tmp_path / "snap"
+        assert main(["snapshot", "save", "--dir", str(target),
+                     "--seed", "5", "--days", "5", "--window", "3"]) == 0
+        capsys.readouterr()
+        segment = next(target.glob("day-*.npz"))
+        segment.write_bytes(segment.read_bytes()[:50])
+        assert main(["snapshot", "inspect", "--dir", str(target)]) == 1
+        assert "checksum mismatch" in capsys.readouterr().out
+        # load still succeeds: the lost day is reported, models rebuild
+        assert main(["snapshot", "load", "--dir", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "models rebuilt" in out
+        assert "degraded" in out
+
+    def test_load_without_recipe_fails_cleanly(self, capsys, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["snapshot", "load", "--dir", str(empty)]) == 1
+        assert "recipe" in capsys.readouterr().err
+
+    def test_rejects_unknown_action(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["snapshot", "frobnicate", "--dir", str(tmp_path)])
