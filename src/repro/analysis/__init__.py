@@ -7,21 +7,33 @@ symbols across process-pool boundaries, no wall-clock reads on the
 hot path, no mutable default arguments.  ``repro lint --project``
 (see :mod:`repro.analysis.project`) adds whole-program rules on top:
 a call-graph race detector (RA501), a lock-discipline checker
-(RA502), and the architecture-layer contract (RA601), with per-file
-results cached incrementally by content hash.  Rules are documented
-in ``docs/static-analysis.md`` and suppressed inline with
+(RA502), the architecture-layer contract (RA601), and the
+determinism/numeric-safety dataflow rules RA700–RA704 (see
+:mod:`repro.analysis.dataflow`) driven by the
+``[tool.repro.determinism]`` contract table, with per-file results
+cached incrementally by content hash.  ``repro lint --fix`` applies
+the safe RA7xx rewrites (see :mod:`repro.analysis.fixer`).  Rules are
+documented in ``docs/static-analysis.md`` and suppressed inline with
 ``# repro: noqa[RAxxx]``.
 """
 
-from .base import (DEFAULT_HOT_PACKAGES, PROJECT_RULES, RULES, Checker,
-                   ImportMap, ModuleContext, Violation,
-                   apply_suppressions, checker_classes, suppressed_lines)
+from .base import (DEFAULT_HOT_PACKAGES, FIXABLE_RULES, LINT_VERSION,
+                   PROJECT_RULES, RULES, Checker, ImportMap,
+                   ModuleContext, Violation, apply_suppressions,
+                   checker_classes, ruleset_fingerprint,
+                   suppressed_lines)
+from .dataflow import (DeterminismConfig, DeterminismConfigError,
+                       DetSite, check_determinism, extract_det_sites,
+                       find_determinism_config, read_determinism_table)
 from .engine import (AnalysisReport, analyze_paths, analyze_source,
                      iter_python_files)
+from .fixer import Fix, apply_fixes, fix_for_site, render_diffs
 from .project import analyze_project
 
 __all__ = [
     "DEFAULT_HOT_PACKAGES",
+    "FIXABLE_RULES",
+    "LINT_VERSION",
     "PROJECT_RULES",
     "RULES",
     "Checker",
@@ -30,10 +42,22 @@ __all__ = [
     "Violation",
     "apply_suppressions",
     "checker_classes",
+    "ruleset_fingerprint",
     "suppressed_lines",
+    "DeterminismConfig",
+    "DeterminismConfigError",
+    "DetSite",
+    "check_determinism",
+    "extract_det_sites",
+    "find_determinism_config",
+    "read_determinism_table",
     "AnalysisReport",
     "analyze_paths",
     "analyze_source",
     "analyze_project",
     "iter_python_files",
+    "Fix",
+    "apply_fixes",
+    "fix_for_site",
+    "render_diffs",
 ]

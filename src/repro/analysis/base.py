@@ -11,10 +11,15 @@ the author suppressed with an inline ``# repro: noqa[RAxxx]`` marker.
 from __future__ import annotations
 
 import ast
+import hashlib
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Type
+
+#: linter version, part of the cache fingerprint: bump on any release
+#: that changes what the analyzer reports without touching rule text
+LINT_VERSION = "3.0.0"
 
 #: registry of rule code -> (symbolic name, one-line description).
 #: ``docs/static-analysis.md`` documents each in depth.
@@ -50,11 +55,51 @@ RULES: Dict[str, Tuple[str, str]] = {
     "RA601": ("layer-contract",
               "module-scope import crosses the architecture layer map "
               "([tool.repro.layers]) upward"),
+    "RA700": ("determinism-config",
+              "a [tool.repro.determinism] contract entry point does not "
+              "resolve to a known function, class, or module"),
+    "RA701": ("unordered-iteration",
+              "iteration over an unordered collection feeds accumulation "
+              "or emitted output on a determinism-contract path"),
+    "RA702": ("unordered-float-sum",
+              "order-sensitive float accumulation over an unordered "
+              "collection on a determinism-contract path"),
+    "RA703": ("dtype-instability",
+              "numpy array built without a platform-stable pinned dtype "
+              "on a determinism-contract path"),
+    "RA704": ("ambient-nondeterminism",
+              "ambient input (wall clock, environment, unseeded RNG, "
+              "object identity) read on a determinism-contract path"),
 }
 
 #: rules that need whole-program context: they only run under
 #: ``repro lint --project`` (see ``project.py``)
-PROJECT_RULES: FrozenSet[str] = frozenset({"RA501", "RA502", "RA601"})
+PROJECT_RULES: FrozenSet[str] = frozenset({
+    "RA501", "RA502", "RA601",
+    "RA700", "RA701", "RA702", "RA703", "RA704",
+})
+
+#: RA7xx rules with an autofix: ``repro lint --fix`` can rewrite these
+FIXABLE_RULES: FrozenSet[str] = frozenset({"RA701", "RA702", "RA703"})
+
+
+def ruleset_fingerprint() -> str:
+    """Content hash of the rule set and the analyzer's own source.
+
+    Folded into the project cache key so that adding a rule, editing a
+    checker, or bumping :data:`LINT_VERSION` invalidates every warm
+    entry — a stale cache must never serve a clean verdict computed by
+    an older rule set.
+    """
+    digest = hashlib.sha256()
+    digest.update(LINT_VERSION.encode("utf-8"))
+    for code, (name, description) in sorted(RULES.items()):
+        digest.update(f"{code}\x00{name}\x00{description}\x00"
+                      .encode("utf-8"))
+    for path in sorted(Path(__file__).resolve().parent.glob("*.py")):
+        digest.update(path.name.encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
 
 #: package directories whose hourly code must be a pure function of
 #: (seed, hour) — wall-clock reads are banned inside them (RA201).

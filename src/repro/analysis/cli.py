@@ -1,19 +1,24 @@
 """``repro lint`` — the determinism & parallel-safety gate.
 
 Exit codes: 0 clean, 1 violations found (including files that failed to
-parse, reported as RA000).
+parse, reported as RA000), 2 on contradictory flags.
 
 Three analysis modes:
 
 * default — per-file rules (RA0xx–RA4xx) over the given paths;
 * ``--project`` — whole-program mode: per-file rules **plus** the
-  semantic rules RA501/RA502/RA601, with an incremental on-disk cache
-  (``--cache-dir``, ``--no-cache``);
-* ``--changed-only`` — per-file rules over only the files changed
-  versus the git merge-base (plus untracked files), which keeps the
-  pre-commit hook O(diff) instead of O(tree).
+  semantic rules RA5xx/RA6xx and the RA7xx determinism dataflow, with
+  an incremental on-disk cache (``--cache-dir``, ``--no-cache``);
+* ``--changed-only`` — report only on the files changed versus the git
+  merge-base (plus untracked files).  Per-file rules then scan just
+  the diff; combined with ``--project`` the *analysis* still covers
+  the whole tree (whole-program rules are only sound over the full
+  module graph) and only the *report* is restricted to changed files.
 
-``--format sarif`` emits SARIF 2.1.0 for GitHub code scanning.
+``--fix`` (project mode) applies the safe RA7xx rewrites in place and
+re-lints; ``--fix --check`` previews them as a unified diff without
+writing, for CI.  ``--format sarif`` emits SARIF 2.1.0 for GitHub code
+scanning.
 """
 
 from __future__ import annotations
@@ -23,10 +28,11 @@ import json
 import subprocess
 import sys
 from pathlib import Path
-from typing import Dict, FrozenSet, List, Optional, TextIO
+from typing import Dict, FrozenSet, List, Optional, Set, TextIO
 
 from .base import DEFAULT_HOT_PACKAGES, PROJECT_RULES, RULES
-from .engine import AnalysisReport, analyze_paths
+from .engine import AnalysisReport, analyze_paths, display_for
+from .fixer import apply_fixes, render_diffs
 from .project import DEFAULT_CACHE_DIR, analyze_project
 
 
@@ -40,8 +46,17 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
              "RA501/RA502/RA601 and uses the incremental cache")
     parser.add_argument(
         "--changed-only", action="store_true",
-        help="lint only files changed vs. the git merge-base "
-             "(plus untracked files); incompatible with --project")
+        help="report only on files changed vs. the git merge-base "
+             "(plus untracked files); with --project the analysis "
+             "still spans the whole tree")
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply the safe RA7xx autofixes in place and re-lint "
+             "(requires --project)")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="with --fix: print pending fixes as a unified diff "
+             "without writing anything (CI mode)")
     parser.add_argument(
         "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (json/sarif are machine-readable; sarif "
@@ -218,9 +233,13 @@ def run_lint(args: argparse.Namespace) -> int:
         print("\n(* = needs whole-program context: runs only under "
               "--project)")
         return 0
-    if args.project and args.changed_only:
-        print("repro lint: --changed-only is incompatible with "
-              "--project (project rules need the whole tree)",
+    if args.check and not args.fix:
+        print("repro lint: --check only makes sense with --fix",
+              file=sys.stderr)
+        return 2
+    if args.fix and not args.project:
+        print("repro lint: --fix requires --project (the RA7xx "
+              "autofixes come from the whole-program dataflow rules)",
               file=sys.stderr)
         return 2
     raw_paths: List[str] = args.paths or ["src"]
@@ -234,26 +253,57 @@ def run_lint(args: argparse.Namespace) -> int:
         p.strip() for p in args.hot_path.split(",") if p.strip())
     select = _parse_codes(args.select)
 
+    # --changed-only: per-file mode narrows the *scanned* set; project
+    # mode keeps analyzing the whole tree (RA5xx/RA6xx/RA7xx are only
+    # sound over the full module graph) and narrows the *report*
+    changed_display: Optional[Set[str]] = None
     if args.changed_only:
         changed = changed_files(Path.cwd())
         if changed is None:
             print("repro lint: --changed-only: no git merge-base "
                   "available; linting everything", file=sys.stderr)
         else:
-            paths = _restrict_to(paths, changed)
-            if not paths:
-                report = AnalysisReport()
-                _render(report, args.format, sys.stdout)
+            restricted = _restrict_to(paths, changed)
+            if not restricted:
+                _render(AnalysisReport(), args.format, sys.stdout)
                 return 0
+            if args.project:
+                changed_display = {
+                    display_for(p, Path.cwd()) or str(p)
+                    for p in restricted}
+            else:
+                paths = restricted
 
-    if args.project:
-        cache_dir = None if args.no_cache else Path(args.cache_dir)
-        report = analyze_project(paths, hot_packages=hot,
-                                 select=select, root=Path.cwd(),
-                                 cache_dir=cache_dir)
-    else:
-        report = analyze_paths(paths, hot_packages=hot,
-                               select=select, root=Path.cwd())
+    def narrow(report: AnalysisReport) -> AnalysisReport:
+        if changed_display is not None:
+            report.violations = [v for v in report.violations
+                                 if v.path in changed_display]
+            report.fixes = [f for f in report.fixes
+                            if f.display in changed_display]
+        return report
+
+    def analyze() -> AnalysisReport:
+        if args.project:
+            cache_dir = None if args.no_cache else Path(args.cache_dir)
+            return narrow(analyze_project(
+                paths, hot_packages=hot, select=select,
+                root=Path.cwd(), cache_dir=cache_dir))
+        return narrow(analyze_paths(paths, hot_packages=hot,
+                                    select=select, root=Path.cwd()))
+
+    report = analyze()
+    if args.fix and report.fixes:
+        results = apply_fixes(report.fixes, write=not args.check)
+        if results:
+            # diffs go to stderr so --format json/sarif stdout stays
+            # machine-parseable
+            sys.stderr.write(render_diffs(results))
+            applied = sum(len(r.applied) for r in results)
+            verb = "pending (not written)" if args.check else "applied"
+            print(f"repro lint --fix: {applied} fix(es) {verb} in "
+                  f"{len(results)} file(s)", file=sys.stderr)
+            if not args.check:
+                report = analyze()  # re-lint the rewritten tree
     _render(report, args.format, sys.stdout)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

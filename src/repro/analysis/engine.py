@@ -14,6 +14,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 
 from .base import (DEFAULT_HOT_PACKAGES, ModuleContext, Violation,
                    apply_suppressions, checker_classes)
+from .fixer import Fix
 
 #: directory names never worth scanning
 _SKIP_DIRS: FrozenSet[str] = frozenset({
@@ -36,6 +37,9 @@ class AnalysisReport:
     files_scanned: int = 0
     cache_hits: Optional[int] = None
     cache_misses: Optional[int] = None
+    #: applicable autofixes for the reported RA7xx findings (project
+    #: mode only); ``repro lint --fix`` consumes these
+    fixes: List[Fix] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -54,6 +58,7 @@ class AnalysisReport:
             "violation_count": len(self.violations),
             "counts_by_code": self.counts_by_code(),
             "violations": [v.to_json() for v in self.violations],
+            "fixable_count": len(self.fixes),
         }
         if self.cache_hits is not None or self.cache_misses is not None:
             payload["cache"] = {"hits": self.cache_hits or 0,

@@ -228,10 +228,15 @@ def _strip_toml_comment(line: str) -> str:
     return "".join(out).rstrip()
 
 
-def _fallback_read_layers(text: str,
-                          source: str) -> Optional[Mapping[str, object]]:
+def _fallback_read_table(text: str, source: str,
+                         section_name: str) -> Optional[Mapping[str, object]]:
+    """Read one ``[section_name]`` table with the line-based fallback.
+
+    Shared by the layers and determinism config loaders on py<3.11;
+    handles ``key = "str"`` / ``key = ["a", "b"]`` forms only.
+    """
     table: Dict[str, object] = {}
-    in_layers = False
+    in_section = False
     found = False
     buffer = ""
     for raw_line in text.splitlines():
@@ -240,10 +245,10 @@ def _fallback_read_layers(text: str,
             continue
         section = _SECTION_RE.match(line.strip())
         if section and not buffer:
-            in_layers = section.group("name").strip() == "tool.repro.layers"
-            found = found or in_layers
+            in_section = section.group("name").strip() == section_name
+            found = found or in_section
             continue
-        if not in_layers:
+        if not in_section:
             continue
         buffer = f"{buffer} {line.strip()}" if buffer else line.strip()
         # multi-line arrays: keep buffering until brackets balance
@@ -256,6 +261,11 @@ def _fallback_read_layers(text: str,
         key = match.group("key").strip("\"'")
         table[key] = _parse_toml_value(match.group("value"), source)
     return table if found else None
+
+
+def _fallback_read_layers(text: str,
+                          source: str) -> Optional[Mapping[str, object]]:
+    return _fallback_read_table(text, source, "tool.repro.layers")
 
 
 def read_layers_table(pyproject: Path) -> Optional[LayerConfig]:

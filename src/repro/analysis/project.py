@@ -32,19 +32,24 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from .base import DEFAULT_HOT_PACKAGES, PROJECT_RULES, Violation
+from .base import DEFAULT_HOT_PACKAGES, PROJECT_RULES, Violation, \
+    ruleset_fingerprint
 from .callgraph import ModuleFacts, ProjectGraph, extract_facts, \
     module_name_for
+from .dataflow import DetSite, DeterminismConfig, check_determinism, \
+    extract_det_sites, find_determinism_config
 from .engine import AnalysisReport, analyze_parsed, display_for, \
     iter_python_files
+from .fixer import fix_for_site
 from .layers import LayerConfig, check_layers, find_layer_config
 from .locks import LockFinding, find_lock_findings, \
     violations_from_findings
 from .races import check_races
 
 #: bump when the facts schema or any project rule's extraction changes;
-#: stale entries are simply misses (their keys never match again)
-CACHE_SCHEMA_VERSION = 1
+#: stale entries are simply misses (their keys never match again).
+#: v2: determinism sites (RA7xx) joined the per-file payload.
+CACHE_SCHEMA_VERSION = 2
 
 #: default cache location, relative to the current working directory
 DEFAULT_CACHE_DIR = Path(".repro-lint-cache")
@@ -57,6 +62,7 @@ class _FileAnalysis:
     facts: Optional[ModuleFacts]            # None when the parse failed
     violations: List[Violation]             # per-file rules (post-noqa)
     lock_findings: List[LockFinding]
+    det_sites: List[DetSite]                # raw RA7xx sites (pre-noqa)
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -67,6 +73,7 @@ class _FileAnalysis:
                             "code": v.code, "message": v.message}
                            for v in self.violations],
             "lock_findings": [f.to_json() for f in self.lock_findings],
+            "det_sites": [s.to_json() for s in self.det_sites],
         }
 
     @classmethod
@@ -83,8 +90,10 @@ class _FileAnalysis:
             for v in raw.get("violations", ())]  # type: ignore[union-attr]
         lock_findings = [LockFinding.from_json(f)
                          for f in raw.get("lock_findings", ())]  # type: ignore[union-attr]
+        det_sites = [DetSite.from_json(s)
+                     for s in raw.get("det_sites", ())]  # type: ignore[union-attr]
         return cls(facts=facts, violations=violations,
-                   lock_findings=lock_findings)
+                   lock_findings=lock_findings, det_sites=det_sites)
 
 
 class ProjectCache:
@@ -152,14 +161,15 @@ def _analyze_file(file_path: Path, source: str, display: str,
                 path=display, line=exc.lineno or 1,
                 col=(exc.offset or 0) + 1, code="RA000",
                 message=f"syntax error: {exc.msg}")],
-            lock_findings=[])
+            lock_findings=[], det_sites=[])
     violations = analyze_parsed(source, file_path, tree,
                                 hot_packages=hot_packages,
                                 display_path=display)
     facts = extract_facts(tree, source, file_path, display,
                           internal_roots)
     return _FileAnalysis(facts=facts, violations=violations,
-                         lock_findings=find_lock_findings(tree))
+                         lock_findings=find_lock_findings(tree),
+                         det_sites=extract_det_sites(tree))
 
 
 def analyze_project(paths: Sequence[Path],
@@ -167,13 +177,16 @@ def analyze_project(paths: Sequence[Path],
                     select: Optional[FrozenSet[str]] = None,
                     root: Optional[Path] = None,
                     cache_dir: Optional[Path] = DEFAULT_CACHE_DIR,
-                    layer_config: Optional[LayerConfig] = None
+                    layer_config: Optional[LayerConfig] = None,
+                    determinism: Optional[DeterminismConfig] = None
                     ) -> AnalysisReport:
-    """Whole-program lint: per-file rules plus RA501/RA502/RA601.
+    """Whole-program lint: per-file rules plus RA5xx/RA6xx/RA7xx.
 
     ``layer_config`` defaults to the nearest ``[tool.repro.layers]``
     table above the first analyzed path; without one, RA601 is skipped
-    (there is no contract to enforce).
+    (there is no contract to enforce).  ``determinism`` defaults the
+    same way to the nearest ``[tool.repro.determinism]`` table and
+    gates the RA700–RA704 dataflow rules.
     """
     files: List[Tuple[Path, str]] = []   # (path, display)
     for file_path in iter_python_files(paths):
@@ -188,9 +201,14 @@ def analyze_project(paths: Sequence[Path],
     internal_roots = frozenset(name.split(".")[0]
                                for name in module_names.values())
 
+    # the rule-set fingerprint folds the linter version, the rule
+    # registry, and the analyzer's own source into the key: editing any
+    # checker invalidates every warm entry rather than serving clean
+    # verdicts computed by an older rule set
     params_key = "|".join([
         ",".join(sorted(hot_packages)),
         ",".join(sorted(internal_roots)),
+        ruleset_fingerprint(),
     ])
     cache = ProjectCache(cache_dir, params_key)
 
@@ -226,6 +244,29 @@ def analyze_project(paths: Sequence[Path],
         layer_config = find_layer_config(files[0][0])
     if layer_config is not None:
         violations.extend(check_layers(modules, layer_config))
+
+    if determinism is None and files:
+        determinism = find_determinism_config(files[0][0])
+    if determinism is not None:
+        sites_by_module: Dict[str, List[DetSite]] = {}
+        for entry in analyses:
+            if entry.facts is not None:
+                sites_by_module.setdefault(
+                    entry.facts.module, []).extend(entry.det_sites)
+        det_violations, fixable = check_determinism(
+            graph, sites_by_module, determinism)
+        violations.extend(det_violations)
+        path_for_display = {display: str(path)
+                            for path, display in files}
+        for display, site in fixable:
+            if select is not None and site.code not in select:
+                continue
+            real = path_for_display.get(display)
+            if real is None:
+                continue
+            fix = fix_for_site(real, display, site)
+            if fix is not None:
+                report.fixes.append(fix)
 
     if select is not None:
         violations = [v for v in violations if v.code in select]

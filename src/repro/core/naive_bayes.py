@@ -63,11 +63,12 @@ class NaiveBayesModel(TrainableModel):
         self._link_index = {l: i for i, l in enumerate(links)}
         n = len(links)
         if n == 0:
-            self._log_prior = np.zeros(0)
+            self._log_prior = np.zeros(0, dtype=np.float64)
             self._log_cond = tuple({} for _ in self.feature_set.fields)
-            self._log_default = tuple(np.zeros(0) for _ in self.feature_set.fields)
+            self._log_default = tuple(np.zeros(0, dtype=np.float64) for _ in self.feature_set.fields)
             return
-        totals = np.array([self._link_bytes[l] for l in links])
+        totals = np.array([self._link_bytes[l] for l in links],
+                          dtype=np.float64)
         self._log_prior = np.log(totals / self._total)
 
         conds: List[Dict[int, np.ndarray]] = []
@@ -79,7 +80,7 @@ class NaiveBayesModel(TrainableModel):
             denom = totals + self.alpha * cardinality
             per_value: Dict[int, np.ndarray] = {}
             for value in values:
-                numer = np.full(n, self.alpha)
+                numer = np.full(n, self.alpha, dtype=np.float64)
                 for j, link in enumerate(links):
                     b = table.get((value, link))
                     if b:
@@ -97,7 +98,7 @@ class NaiveBayesModel(TrainableModel):
         if self._links is None:
             self.finalize()
         if not self._links:
-            return np.zeros(0), False
+            return np.zeros(0, dtype=np.float64), False
         log_p = self._log_prior.copy()
         key = self.feature_set.key(context)
         any_known = False
@@ -117,7 +118,7 @@ class NaiveBayesModel(TrainableModel):
             return []
         if unavailable:
             mask = np.array(
-                [l in unavailable for l in self._links])
+                [l in unavailable for l in self._links], dtype=np.bool_)
             if mask.all():
                 return []
             log_p = np.where(mask, -np.inf, log_p)

@@ -591,7 +591,8 @@ class TipsyService:
                 links = np.asarray(link_ids, dtype=np.int64)
                 unique, inverse = np.unique(links, return_inverse=True)
                 sums = np.bincount(inverse.ravel(),
-                                   weights=np.asarray(link_weights),
+                                   weights=np.asarray(link_weights,
+                                                      dtype=np.float64),
                                    minlength=len(unique))
                 spill = {int(link): float(total_)
                          for link, total_

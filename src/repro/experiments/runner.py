@@ -67,7 +67,7 @@ class _StreamAccumulator:
     def __init__(self, n_links: int, n_hours: int, hour_offset: int):
         self.n_links = n_links
         self.hour_offset = hour_offset
-        self.link_matrix = np.zeros((n_links, n_hours))
+        self.link_matrix = np.zeros((n_links, n_hours), dtype=np.float64)
         # per (down-set) accumulated (row, link) -> bytes
         self.by_downset: Dict[FrozenSet[int], Dict[Tuple[int, int], float]] = {}
         self.total: Dict[Tuple[int, int], float] = {}

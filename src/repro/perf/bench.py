@@ -9,8 +9,10 @@ Four suites, selectable with ``--suite`` (default runs all):
   from-scratch daily retrain latency over the rolling window, batched
   prediction throughput, and batched vs per-flow ``what_if``.
 * ``lint`` — whole-tree ``repro lint --project`` over this repo's own
-  source, cold cache vs warm, so the incremental analysis cache's
-  benefit is tracked like every other hot path.
+  source, cold cache vs warm, plus the RA7xx determinism-dataflow
+  stage split into site extraction (the per-miss cost) and the
+  contract link (the floor every warm run pays), so the incremental
+  analysis cache's benefit is tracked like every other hot path.
 * ``store`` — the persistence boundary (``repro.store``,
   ``docs/storage.md``): snapshot write throughput, restart latency to
   the first served prediction, and out-of-core retrain throughput over
@@ -29,6 +31,7 @@ Two profiles:
 
 from __future__ import annotations
 
+import ast
 import datetime
 import json
 import os
@@ -38,7 +41,10 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..analysis import analyze_project
+from ..analysis import (analyze_project, check_determinism,
+                        extract_det_sites, find_determinism_config)
+from ..analysis.callgraph import (ModuleFacts, ProjectGraph,
+                                  extract_facts)
 from ..core.features import FEATURES_A, FEATURES_AL, FEATURES_AP
 from ..core.persistence import train_models_from_store
 from ..core.service import ServiceConfig, TipsyService
@@ -271,6 +277,54 @@ def _bench_lint(report: BenchReport, rounds: int) -> None:
           f"({cold_s / warm_s:.1f}x)")
 
 
+def _bench_lint_dataflow(report: BenchReport, rounds: int) -> None:
+    """RA7xx determinism dataflow: site extraction vs contract link.
+
+    Two metrics mirror the cache design (``docs/static-analysis.md``):
+    *extraction* (per-file scan for determinism sites) is the cold-path
+    cost paid once per cache miss; the *link* (entry-point resolution,
+    reachability, reporting over the whole graph) is recomputed on
+    every run, warm or cold — so it is the floor a fully-warm
+    ``repro lint --project`` cannot go below.
+    """
+    src_root = Path(__file__).resolve().parents[2]
+    target = src_root / "repro"
+    parsed: List[Tuple[ast.Module, ModuleFacts]] = []
+    for path in sorted(target.rglob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source)
+        display = str(path.relative_to(src_root))
+        parsed.append((tree, extract_facts(
+            tree, source, path, display, frozenset({"repro"}))))
+    config = find_determinism_config(target)
+    if config is None:  # pragma: no cover - repo always has the table
+        return
+    n_files = len(parsed)
+
+    def extract() -> None:
+        for tree, _facts in parsed:
+            extract_det_sites(tree)
+
+    extract_s = _best_of(extract, rounds)
+    report.record("lint_dataflow_extract_files_per_s",
+                  n_files / extract_s)
+    print(f"  dataflow (extract): {n_files / extract_s:8.0f} files/s "
+          f"(cold, {n_files} files)")
+
+    graph = ProjectGraph.link([facts for _tree, facts in parsed])
+    sites_by_module = {
+        facts.module: extract_det_sites(tree)
+        for tree, facts in parsed}
+
+    def link() -> None:
+        check_determinism(graph, sites_by_module, config)
+
+    link_s = _best_of(link, rounds)
+    report.record("lint_dataflow_link_runs_per_s", 1.0 / link_s)
+    print(f"  dataflow (link):    {link_s * 1e3:8.1f} ms/run "
+          f"(warm floor, {1.0 / link_s:.1f} runs/s)")
+
+
 def _bench_store(report: BenchReport, profile: str, seed: int,
                  rounds: int) -> None:
     """Persistence: snapshot write rate, restart latency, out-of-core.
@@ -374,6 +428,7 @@ def run_bench(
     if suite in ("all", "lint"):
         with obs.span("bench.lint"):
             _bench_lint(report, rounds)
+            _bench_lint_dataflow(report, rounds)
     if suite in ("all", "store"):
         with obs.span("bench.store"):
             _bench_store(report, profile, seed, rounds)

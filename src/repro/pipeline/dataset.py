@@ -31,7 +31,7 @@ class LinkByteTracker:
     def __init__(self, link_ids: Sequence[int], n_hours: int):
         self.link_ids = tuple(link_ids)
         self._index: Dict[int, int] = {l: i for i, l in enumerate(self.link_ids)}
-        self.matrix = np.zeros((len(self.link_ids), n_hours))
+        self.matrix = np.zeros((len(self.link_ids), n_hours), dtype=np.float64)
 
     def consume_hour(self, hour: int, records: Sequence[AggRecord]) -> None:
         for record in records:
@@ -56,7 +56,7 @@ class LinkByteTracker:
     def add_bulk(self, hour: int, link_ids: np.ndarray,
                  bytes_: np.ndarray) -> None:
         """Vectorised accumulation used by the scenario fast path."""
-        rows = np.array([self._index[l] for l in link_ids])
+        rows = np.array([self._index[l] for l in link_ids], dtype=np.int64)
         np.add.at(self.matrix[:, hour], rows, bytes_)
 
     def merge(self, other: "LinkByteTracker") -> None:

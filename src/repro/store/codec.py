@@ -68,7 +68,7 @@ def encode_keyed_table(table: Mapping[Tuple[int, ...], float],
         keys[row] = key
         values[row] = value
     columns: Dict[str, np.ndarray] = {
-        name: np.ascontiguousarray(keys[:, i])
+        name: np.ascontiguousarray(keys[:, i], dtype=np.int64)
         for i, name in enumerate(key_column_names(width))
     }
     columns["value"] = values

@@ -235,18 +235,20 @@ class TrafficGenerator:
         flows = self.flows
         n = len(flows)
         self._base_bytes_hour = np.array(
-            [f.base_rate_mbps * 1e6 / 8.0 * 3600.0 for f in flows])
+            [f.base_rate_mbps * 1e6 / 8.0 * 3600.0 for f in flows],
+            dtype=np.float64)
         profiles = [profile_for(f.dest_service) for f in flows]
-        self._peak = np.array([p.peak_hour for p in profiles])
-        self._amp = np.array([p.amplitude for p in profiles])
-        self._wkf = np.array([p.weekend_factor for p in profiles])
-        self._tz = np.array([f.tz_offset for f in flows])
-        self._start_day = np.array([f.start_day for f in flows])
-        self._end_day = np.array([f.end_day for f in flows])
+        self._peak = np.array([p.peak_hour for p in profiles], dtype=np.float64)
+        self._amp = np.array([p.amplitude for p in profiles], dtype=np.float64)
+        self._wkf = np.array([p.weekend_factor for p in profiles],
+                             dtype=np.float64)
+        self._tz = np.array([f.tz_offset for f in flows], dtype=np.int64)
+        self._start_day = np.array([f.start_day for f in flows], dtype=np.int64)
+        self._end_day = np.array([f.end_day for f in flows], dtype=np.int64)
         # intermittent activity: a (day, flow) mask drawn once
         params = self.params
         rng = np.random.default_rng(mix64(0xAC7, seed=self.seed))
-        activity = np.ones(n)
+        activity = np.ones(n, dtype=np.float64)
         intermittent = rng.random(n) < params.intermittent_fraction
         activity[intermittent] = rng.uniform(
             params.intermittent_active_lo, params.intermittent_active_hi,

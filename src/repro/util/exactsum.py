@@ -21,9 +21,22 @@ decide that a (tuple, link) pair has genuinely left the window.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from typing import Iterable, List, Sequence
 
-__all__ = ["exact_add", "exact_sub", "exact_value", "exact_is_zero"]
+__all__ = ["exact_add", "exact_sub", "exact_value", "exact_is_zero",
+           "exact_total"]
+
+
+def exact_total(values: Iterable[float]) -> float:
+    """Order-independent, correctly-rounded sum of ``values``.
+
+    Drop-in replacement for ``sum(...)`` on determinism-contract paths
+    (the target of the RA702 autofix): ``math.fsum`` accumulates exact
+    partials, so the result is the correctly-rounded float of the true
+    real-valued sum — identical no matter how the input is ordered,
+    grouped, sharded, or which platform ran it.
+    """
+    return math.fsum(values)
 
 
 def exact_add(partials: List[float], value: float) -> List[float]:

@@ -1,0 +1,49 @@
+"""RA70x fixture: determinism sites on and off the contract paths."""
+
+import random
+import time
+
+import numpy as np
+
+import metrics
+
+
+def merge_shards(shards):
+    keys = set()
+    for shard in shards:
+        keys = keys | set(shard)
+    out = []
+    for key in keys:  # expect: RA701
+        out.append(key)
+    metrics.record(len(out))
+    return out, checksum(shards), started_at(), labels(out)
+
+
+def checksum(parts):
+    total = 0.0
+    for part in frozenset(parts):  # expect: RA702
+        total += float(part)
+    return total + sum({1.0, 2.0})  # expect: RA702
+
+
+def started_at():
+    return time.time()  # expect: RA704
+
+
+def labels(names):
+    # justified: display-only cache, order never leaks into results
+    return list({str(n) for n in names})  # repro: noqa[RA701]
+
+
+class Accumulator:
+    def __init__(self, n):
+        self.totals = np.zeros(n)  # expect: RA703
+
+    def index(self, links):
+        return np.array(links, dtype=np.int_)  # expect: RA703
+
+
+def offline_report(rows):
+    # not reachable from any contract entry: these sites stay silent
+    seen = set(rows)
+    return sum(seen), random.random(), time.time()

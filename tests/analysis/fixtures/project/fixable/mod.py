@@ -1,0 +1,28 @@
+"""Auto-fixable fixture: every site here has a safe rewrite.
+
+The fixer tests import this module, record its outputs, run ``--fix``
+on a copy, re-import, and compare — the rewrites must not change what
+the functions compute (only make the order explicit).
+"""
+
+import numpy as np
+
+
+def total_mass(values):
+    distinct = set(values)
+    return sum(distinct)
+
+
+def ordered_names(names):
+    out = []
+    for name in {n.lower() for n in names}:
+        out.append(name)
+    return out
+
+
+def zero_grid(n):
+    return np.zeros(n)
+
+
+def link_index(links):
+    return np.array(links, dtype=np.int_)

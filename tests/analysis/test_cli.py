@@ -81,9 +81,15 @@ def test_list_rules_marks_project_rules(capsys):
     assert "--project" in out
 
 
-def test_project_plus_changed_only_is_a_usage_error(capsys):
-    assert lint_main([str(FIXTURES), "--project", "--changed-only"]) == 2
-    assert "incompatible" in capsys.readouterr().err
+def test_fix_without_project_is_a_usage_error(capsys):
+    assert lint_main([str(FIXTURES), "--fix"]) == 2
+    assert "--fix requires --project" in capsys.readouterr().err
+
+
+def test_check_without_fix_is_a_usage_error(capsys):
+    assert lint_main([str(FIXTURES), "--check"]) == 2
+    assert "--check only makes sense with --fix" \
+        in capsys.readouterr().err
 
 
 def test_project_mode_fires_semantic_rules_and_reports_cache(
@@ -189,6 +195,95 @@ def test_changed_only_without_a_merge_base_lints_everything(
     captured = capsys.readouterr()
     assert "linting everything" in captured.err
     assert "bad.py" in captured.out
+
+
+_DET_PYPROJECT = '[tool.repro.determinism]\nall = ["a", "b"]\n'
+_RA702_MODULE = '"""Doc."""\n\n\ndef f(xs):\n    return sum(set(xs))\n'
+
+
+def _project_with_one_changed_file(tmp_path):
+    """Git repo: a.py predates the merge-base, b.py is new on a branch.
+
+    Both carry the same RA702 violation; only b.py's should be
+    reported under ``--project --changed-only``.
+    """
+    git = _git_repo(tmp_path)
+    (tmp_path / "pyproject.toml").write_text(_DET_PYPROJECT)
+    (tmp_path / "a.py").write_text(_RA702_MODULE)
+    git("add", ".")
+    git("commit", "-q", "-m", "base")
+    git("checkout", "-q", "-b", "feature")
+    (tmp_path / "b.py").write_text(_RA702_MODULE)
+
+
+@pytest.mark.parametrize("flags", [
+    ["--project", "--changed-only"],
+    ["--changed-only", "--project"],  # flag order must not matter
+])
+def test_project_changed_only_restricts_the_report(flags, tmp_path,
+                                                   monkeypatch, capsys):
+    _project_with_one_changed_file(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    code = lint_main([".", *flags, "--no-cache", "--format", "json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    # the *analysis* still spans the whole tree (project rules are only
+    # sound over the full module graph) ...
+    assert payload["files_scanned"] == 2
+    # ... but the *report* — violations and pending fixes — covers only
+    # the changed file
+    assert [v["path"] for v in payload["violations"]] == ["b.py"]
+    assert payload["fixable_count"] == 1
+
+
+def test_project_changed_only_with_clean_diff_exits_zero(
+        tmp_path, monkeypatch, capsys):
+    _project_with_one_changed_file(tmp_path)
+    (tmp_path / "b.py").write_text('"""Doc."""\n')
+    monkeypatch.chdir(tmp_path)
+    assert lint_main([".", "--project", "--changed-only",
+                      "--no-cache"]) == 0
+    capsys.readouterr()
+
+
+# -- --fix --------------------------------------------------------------------
+
+FIXABLE = FIXTURES / "project" / "fixable"
+
+
+def _fixable_copy(tmp_path):
+    import shutil
+    target = tmp_path / "fixable"
+    shutil.copytree(FIXABLE, target)
+    return target
+
+
+def test_fix_check_previews_diff_without_writing(tmp_path, monkeypatch,
+                                                 capsys):
+    tree = _fixable_copy(tmp_path)
+    original = (tree / "mod.py").read_text()
+    monkeypatch.chdir(tree)
+    code = lint_main([".", "--project", "--fix", "--check",
+                      "--no-cache", "--format", "json"])
+    assert code == 1  # pending fixes: the tree is not clean yet
+    captured = capsys.readouterr()
+    assert (tree / "mod.py").read_text() == original
+    # diff and summary go to stderr; stdout stays machine-parseable
+    assert "--- a/mod.py" in captured.err
+    assert "pending (not written)" in captured.err
+    payload = json.loads(captured.out)
+    assert payload["fixable_count"] == len(payload["violations"]) == 4
+
+
+def test_fix_applies_and_relints_clean(tmp_path, monkeypatch, capsys):
+    tree = _fixable_copy(tmp_path)
+    monkeypatch.chdir(tree)
+    code = lint_main([".", "--project", "--fix", "--no-cache"])
+    captured = capsys.readouterr()
+    assert "4 fix(es) applied in 1 file(s)" in captured.err
+    # the post-fix re-lint sees a clean tree, so the run exits 0
+    assert code == 0
+    assert "exact_total" in (tree / "mod.py").read_text()
 
 
 def test_repro_lint_subcommand_end_to_end():

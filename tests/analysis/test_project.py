@@ -51,7 +51,8 @@ def run_scenario(name):
     return report
 
 
-@pytest.mark.parametrize("name", ["races", "locks", "layers"])
+@pytest.mark.parametrize("name", ["races", "locks", "layers",
+                                  "determinism"])
 def test_scenario_fires_exactly_the_marked_rules(name):
     report = run_scenario(name)
     got = Counter((v.path, v.line, v.code) for v in report.violations)
