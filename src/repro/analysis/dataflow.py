@@ -36,7 +36,11 @@ The rules:
 * **RA702** order-sensitive float accumulation (``sum()`` or a ``+=``
   loop) over an unordered collection — fix:
   :func:`repro.util.exactsum.exact_total` (order-independent,
-  correctly rounded) or sorted iteration;
+  correctly rounded) or sorted iteration.  Integer sums are exact and
+  hence order-free, so provably-integer literals are skipped; the
+  autofix applies only to a bare single-argument ``sum(...)`` (a
+  ``start`` argument is reported but left alone) and always yields a
+  ``float`` — the remedy text calls that out for int inputs;
 * **RA703** numpy arrays built without a platform-stable dtype
   (``dtype=int`` is the C ``long``: 64-bit on Linux, 32-bit on
   Windows) — fix: pin ``int64``/``float64`` explicitly;
@@ -168,11 +172,16 @@ def find_determinism_config(start: Path) -> Optional[DeterminismConfig]:
 
 #: autofix recipes a site may carry (applied by ``fixer.py``)
 FIX_KINDS: FrozenSet[str] = frozenset({
-    "wrap-sorted",     # insert sorted( ... ) around the span
+    "wrap-sorted",     # insert sorted( ... ) around the span; a payload
+                       # becomes an extra sorted() argument (scandir key)
     "exact-total",     # replace the span (the `sum` name) with exact_total
     "dtype-replace",   # replace the span (a dtype value) with the payload
     "dtype-add",       # insert the payload at the span start (zero-width)
 })
+
+#: sort key for scandir-derived iterables: ``os.DirEntry`` defines no
+#: ``<``, so a bare ``sorted(...)`` over one raises TypeError
+_SCANDIR_SORT_KEY = "key=lambda e: e.name"
 
 
 @dataclass(frozen=True)
@@ -297,6 +306,18 @@ def _span_of(node: ast.expr) -> Optional[Tuple[int, int, int, int]]:
     return (node.lineno, node.col_offset, end_lineno, end_col)
 
 
+def _int_only_set_literal(node: ast.expr) -> bool:
+    """``{1, 2, 3}``: integer summation is exact, hence order-free.
+
+    The one case where the RA702 detector can *prove* the summands are
+    ints — where ``exact_total`` (always float) would change the result
+    type — is a set literal of integer constants, so it is skipped.
+    """
+    return isinstance(node, ast.Set) and bool(node.elts) and all(
+        isinstance(elt, ast.Constant) and isinstance(elt.value, int)
+        for elt in node.elts)
+
+
 def _contains_id_call(node: ast.expr) -> bool:
     for sub in ast.walk(node):
         if (isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name)
@@ -320,6 +341,8 @@ class _FunctionDetScanner:
         self.imports = imports
         self.sites = sites
         self.unordered: Set[str] = set()
+        #: names currently bound to scandir results (DirEntry streams)
+        self.scandir: Set[str] = set()
         #: comprehension nodes already claimed by an order-free consumer
         self.consumed: Set[int] = set()
 
@@ -373,6 +396,34 @@ class _FunctionDetScanner:
                     return True
         return False
 
+    def is_scandir(self, node: ast.expr) -> bool:
+        """Does this expression yield ``os.DirEntry`` objects?
+
+        DirEntry does not support ``<``, so the wrap-sorted fix for a
+        scandir-derived iterable must sort by ``e.name`` instead of the
+        elements themselves.
+        """
+        if isinstance(node, ast.Name):
+            return node.id in self.scandir
+        if isinstance(node, ast.IfExp):
+            return (self.is_scandir(node.body)
+                    or self.is_scandir(node.orelse))
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Name) and node.args
+                    and func.id in ("set", "frozenset", "list",
+                                    "tuple", "iter", "reversed")):
+                return self.is_scandir(node.args[0])
+            if self._dotted(func) == "os.scandir":
+                return True
+            if isinstance(func, ast.Attribute) and func.attr == "scandir":
+                return True
+        return False
+
+    def _sorted_payload(self, node: ast.expr) -> str:
+        """Extra ``sorted()`` argument the wrap-sorted fix needs, if any."""
+        return _SCANDIR_SORT_KEY if self.is_scandir(node) else ""
+
     def _genexp_iter_unordered(self,
                                node: ast.expr) -> Optional[ast.expr]:
         """First unordered generator iterable of a comprehension arg."""
@@ -389,12 +440,17 @@ class _FunctionDetScanner:
         for stmt in body:
             self._stmt(stmt)
 
-    def _bind(self, target: ast.expr, unordered: bool) -> None:
+    def _bind(self, target: ast.expr, unordered: bool,
+              scandir: bool = False) -> None:
         if isinstance(target, ast.Name):
             if unordered:
                 self.unordered.add(target.id)
             else:
                 self.unordered.discard(target.id)
+            if scandir:
+                self.scandir.add(target.id)
+            else:
+                self.scandir.discard(target.id)
         elif isinstance(target, (ast.Tuple, ast.List)):
             for element in target.elts:
                 self._bind(element, False)
@@ -405,14 +461,16 @@ class _FunctionDetScanner:
         if isinstance(stmt, ast.Assign):
             self._expr(stmt.value)
             unordered = self.is_unordered(stmt.value)
+            scandir = self.is_scandir(stmt.value)
             for target in stmt.targets:
                 if not isinstance(target, ast.Name):
                     self._expr(target)
-                self._bind(target, unordered)
+                self._bind(target, unordered, scandir)
         elif isinstance(stmt, ast.AnnAssign):
             if stmt.value is not None:
                 self._expr(stmt.value)
-                self._bind(stmt.target, self.is_unordered(stmt.value))
+                self._bind(stmt.target, self.is_unordered(stmt.value),
+                           self.is_scandir(stmt.value))
             if not isinstance(stmt.target, ast.Name):
                 self._expr(stmt.target)
         elif isinstance(stmt, ast.AugAssign):
@@ -472,7 +530,8 @@ class _FunctionDetScanner:
                     stmt.iter, code,
                     detail=(f"loop over unordered `{_snippet(stmt.iter)}` "
                             f"feeds {noun}"),
-                    fix_kind="wrap-sorted", span=_span_of(stmt.iter))
+                    fix_kind="wrap-sorted", span=_span_of(stmt.iter),
+                    payload=self._sorted_payload(stmt.iter))
         self._bind(stmt.target, False)
         self.scan(stmt.body)
         self.scan(stmt.orelse)
@@ -531,7 +590,8 @@ class _FunctionDetScanner:
                 arg, code,
                 detail=(f"`{consumer}` consumes unordered "
                         f"`{_snippet(arg)}`"),
-                fix_kind="wrap-sorted", span=_span_of(arg))
+                fix_kind="wrap-sorted", span=_span_of(arg),
+                payload=self._sorted_payload(arg))
             return True
         gen_iter = self._genexp_iter_unordered(arg)
         if gen_iter is not None:
@@ -540,7 +600,8 @@ class _FunctionDetScanner:
                 gen_iter, code,
                 detail=(f"`{consumer}` consumes a generator over "
                         f"unordered `{_snippet(gen_iter)}`"),
-                fix_kind="wrap-sorted", span=_span_of(gen_iter))
+                fix_kind="wrap-sorted", span=_span_of(gen_iter),
+                payload=self._sorted_payload(gen_iter))
             return True
         return False
 
@@ -550,15 +611,26 @@ class _FunctionDetScanner:
         if isinstance(func, ast.Name) and node.args:
             if func.id == "sum":
                 arg = node.args[0]
-                if (self.is_unordered(arg)
-                        or self._genexp_iter_unordered(arg) is not None):
+                if ((self.is_unordered(arg)
+                        or self._genexp_iter_unordered(arg) is not None)
+                        and not _int_only_set_literal(arg)):
                     self._claim(arg)
+                    # exact_total takes exactly one iterable, so the
+                    # rewrite is only safe for a bare sum(iterable);
+                    # sum(xs, start) would become a TypeError — and a
+                    # non-numeric start (list concatenation) is not
+                    # float accumulation at all
+                    bare = len(node.args) == 1 and not node.keywords
                     self._site(
                         node, "RA702",
                         detail=(f"`sum({_snippet(arg)})` accumulates "
-                                "floats in arbitrary order"),
-                        fix_kind="exact-total", span=_span_of(func),
-                        payload="exact_total")
+                                "floats in arbitrary order"
+                                + ("" if bare else
+                                   "; the start argument rules out the "
+                                   "exact_total rewrite")),
+                        fix_kind="exact-total" if bare else None,
+                        span=_span_of(func) if bare else None,
+                        payload="exact_total" if bare else "")
             elif func.id in ("list", "tuple"):
                 self._flag_unordered_arg(node.args[0], "RA701", func.id)
             elif func.id in _ORDER_FREE_CONSUMERS:
@@ -583,7 +655,8 @@ class _FunctionDetScanner:
                     gen.iter, "RA701",
                     detail=(f"{kind} comprehension iterates unordered "
                             f"`{_snippet(gen.iter)}`"),
-                    fix_kind="wrap-sorted", span=_span_of(gen.iter))
+                    fix_kind="wrap-sorted", span=_span_of(gen.iter),
+                    payload=self._sorted_payload(gen.iter))
                 return
 
     def _subscript(self, node: ast.Subscript) -> None:
@@ -840,8 +913,8 @@ def _resolve_entry(graph: ProjectGraph, entry: str,
 _REMEDIES: Dict[str, str] = {
     "RA701": "wrap the iterable in `sorted(...)`",
     "RA702": ("accumulate with `repro.util.exactsum.exact_total` "
-              "(order-independent, correctly rounded) or iterate in "
-              "sorted order"),
+              "(order-independent, correctly rounded; returns float "
+              "even for int inputs) or iterate in sorted order"),
     "RA703": "pin an explicit platform-stable dtype",
     "RA704": ("thread the value in explicitly (seed, hour, config) "
               "instead of reading process state"),

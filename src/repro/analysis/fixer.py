@@ -6,10 +6,16 @@ extraction time from exact AST positions.  This module turns recipes
 into concrete text edits and applies them:
 
 * ``wrap-sorted``   — ``for p in paths.iterdir():`` becomes
-  ``for p in sorted(paths.iterdir()):`` (two zero-width inserts);
+  ``for p in sorted(paths.iterdir()):`` (two zero-width inserts); a
+  site payload becomes an extra ``sorted()`` argument, which is how
+  ``os.scandir`` streams (``DirEntry`` defines no ``<``) get
+  ``sorted(..., key=lambda e: e.name)`` instead of a TypeError;
 * ``exact-total``   — ``sum(shares)`` becomes ``exact_total(shares)``
   and ``from repro.util.exactsum import exact_total`` is added after
-  the module's import block if missing;
+  the module's import block if missing.  The detector attaches this
+  recipe only to a bare single-argument ``sum(...)`` — ``exact_total``
+  accepts one iterable, so ``sum(xs, start)`` is reported but never
+  rewritten;
 * ``dtype-replace`` — ``dtype=int`` becomes ``dtype=np.int64``;
 * ``dtype-add``     — ``np.zeros(n)`` becomes
   ``np.zeros(n, dtype=np.float64)``.
@@ -20,7 +26,12 @@ unspecified; ``exact_total`` is ``math.fsum``, correctly rounded;
 ``dtype`` pins name what numpy already chose on this platform) and
 *idempotent*: the fixed form no longer matches its detector, so a
 second ``--fix`` run produces zero edits — a property test enforces
-this.
+this.  One caveat survives: ``exact_total`` always returns ``float``,
+so summing a collection the analysis cannot prove to hold floats
+changes ``sum([2, 3]) == 5`` into ``5.0``.  Provably-integer literals
+are never flagged, but for opaque int-valued inputs the rewrite can
+leak a float into indexing or serialized snapshots — review the diff
+(``--fix --check``) when the summands might be ints.
 
 All edits for one file are computed against the same original text and
 applied back-to-front, so earlier edits never shift later spans.
@@ -93,9 +104,12 @@ def fix_for_site(path: str, display: str,
     lineno, col, end_lineno, end_col = site.span
     needs_import = False
     if site.fix_kind == "wrap-sorted":
+        closing = f", {site.payload})" if site.payload else ")"
         edits = (Edit(lineno, col, lineno, col, "sorted("),
-                 Edit(end_lineno, end_col, end_lineno, end_col, ")"))
-        description = "wrap the iterable in sorted(...)"
+                 Edit(end_lineno, end_col, end_lineno, end_col, closing))
+        description = (f"wrap the iterable in sorted(..., {site.payload})"
+                       if site.payload else
+                       "wrap the iterable in sorted(...)")
     elif site.fix_kind == "exact-total":
         edits = (Edit(lineno, col, end_lineno, end_col, "exact_total"),)
         description = "replace sum(...) with exact_total(...)"

@@ -30,7 +30,7 @@ import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from .base import DEFAULT_HOT_PACKAGES, PROJECT_RULES, Violation, \
     ruleset_fingerprint
@@ -172,6 +172,44 @@ def _analyze_file(file_path: Path, source: str, display: str,
                          det_sites=extract_det_sites(tree))
 
 
+def _determinism_scope_warnings(
+        files: Sequence[Tuple[Path, str]],
+        config: DeterminismConfig) -> List[Violation]:
+    """RA700 when one run spans pyprojects with different contract tables.
+
+    The determinism table is resolved once, from the first analyzed
+    path (mirroring the layer-config behavior).  A file that actually
+    sits under a *different* pyproject would silently inherit the wrong
+    contracts, so each distinct foreign root draws one warning naming
+    both tables instead of being checked against the wrong one in
+    silence.
+    """
+    warnings: List[Violation] = []
+    source_by_dir: Dict[Path, Optional[str]] = {}
+    flagged: Set[str] = set()
+    for path, display in files:
+        directory = path.resolve().parent
+        if directory not in source_by_dir:
+            found = find_determinism_config(directory)
+            source_by_dir[directory] = (None if found is None
+                                        else found.source)
+        source = source_by_dir[directory]
+        if source == config.source:
+            continue
+        label = source or "<no determinism table>"
+        if label in flagged:
+            continue
+        flagged.add(label)
+        warnings.append(Violation(
+            path=display, line=1, col=1, code="RA700",
+            message=(f"file is governed by {label}, but this run "
+                     f"applied the contracts from {config.source} "
+                     "(resolved from the first analyzed path); lint "
+                     "each root separately or pass one explicit "
+                     "config")))
+    return warnings
+
+
 def analyze_project(paths: Sequence[Path],
                     hot_packages: FrozenSet[str] = DEFAULT_HOT_PACKAGES,
                     select: Optional[FrozenSet[str]] = None,
@@ -186,7 +224,9 @@ def analyze_project(paths: Sequence[Path],
     table above the first analyzed path; without one, RA601 is skipped
     (there is no contract to enforce).  ``determinism`` defaults the
     same way to the nearest ``[tool.repro.determinism]`` table and
-    gates the RA700–RA704 dataflow rules.
+    gates the RA700–RA704 dataflow rules; when the analyzed paths span
+    pyprojects with *different* tables, the first root's table applies
+    and every foreign root draws an RA700 warning.
     """
     files: List[Tuple[Path, str]] = []   # (path, display)
     for file_path in iter_python_files(paths):
@@ -247,6 +287,9 @@ def analyze_project(paths: Sequence[Path],
 
     if determinism is None and files:
         determinism = find_determinism_config(files[0][0])
+        if determinism is not None:
+            violations.extend(
+                _determinism_scope_warnings(files, determinism))
     if determinism is not None:
         sites_by_module: Dict[str, List[DetSite]] = {}
         for entry in analyses:

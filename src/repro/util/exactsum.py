@@ -30,11 +30,19 @@ __all__ = ["exact_add", "exact_sub", "exact_value", "exact_is_zero",
 def exact_total(values: Iterable[float]) -> float:
     """Order-independent, correctly-rounded sum of ``values``.
 
-    Drop-in replacement for ``sum(...)`` on determinism-contract paths
-    (the target of the RA702 autofix): ``math.fsum`` accumulates exact
-    partials, so the result is the correctly-rounded float of the true
-    real-valued sum — identical no matter how the input is ordered,
-    grouped, sharded, or which platform ran it.
+    Drop-in replacement for a bare single-argument ``sum(...)`` on
+    determinism-contract paths (the target of the RA702 autofix):
+    ``math.fsum`` accumulates exact partials, so the result is the
+    correctly-rounded float of the true real-valued sum — identical no
+    matter how the input is ordered, grouped, sharded, or which
+    platform ran it.
+
+    Unlike ``sum``, the result is *always* ``float``: ``sum([2, 3])``
+    is the int ``5`` but ``exact_total([2, 3])`` is ``5.0`` — don't
+    route provably-integer sums (already exact and order-free) through
+    here, and mind the type change where a sum feeds indexing,
+    serialization, or hashed snapshots.  There is also no ``start``
+    parameter; fold a non-zero start in as one more summand.
     """
     return math.fsum(values)
 

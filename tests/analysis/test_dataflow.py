@@ -174,6 +174,61 @@ def test_entry_resolves_through_package_reexport(tmp_path):
     assert "impl.py" in report.violations[0].path
 
 
+def test_sum_with_start_argument_is_report_only(tmp_path):
+    # exact_total takes exactly one iterable: sum(xs, start) must be
+    # reported but never rewritten (the rewrite would TypeError)
+    _write_pyproject(tmp_path, (
+        "[tool.repro.determinism]\n"
+        'c = ["mod.total"]\n'))
+    (tmp_path / "mod.py").write_text(
+        '"""Doc."""\n\n\ndef total(xs, start):\n'
+        "    return sum(set(xs), start)\n")
+    report = _analyze(tmp_path)
+    assert [v.code for v in report.violations] == ["RA702"]
+    assert "start argument" in report.violations[0].message
+    assert "auto-fixable" not in report.violations[0].message
+    assert report.fixes == []
+
+
+def test_int_literal_set_sum_is_not_flagged(tmp_path):
+    # integer summation is exact and order-free; rewriting it to the
+    # always-float exact_total would change the result type for nothing
+    _write_pyproject(tmp_path, (
+        "[tool.repro.determinism]\n"
+        'c = ["mod.total"]\n'))
+    (tmp_path / "mod.py").write_text(
+        '"""Doc."""\n\n\ndef total():\n    return sum({3, 1, 2})\n')
+    report = _analyze(tmp_path)
+    assert report.violations == [] and report.fixes == []
+
+
+def test_foreign_pyproject_root_draws_a_scope_warning(tmp_path):
+    # two roots with different tables analyzed in one run: the first
+    # root's contracts apply, the second is flagged instead of being
+    # silently checked against the wrong table
+    first = tmp_path / "first"
+    second = tmp_path / "second"
+    for root, contract in ((first, "a"), (second, "b")):
+        root.mkdir()
+        _write_pyproject(root, (
+            "[tool.repro.determinism]\n"
+            f'{contract} = ["mod.run"]\n'))
+        (root / "mod.py").write_text(
+            '"""Doc."""\n\n\ndef run(xs):\n    return sorted(xs)\n')
+    report = analyze_project([first, second], cache_dir=None,
+                             select=PROJECT_RULES, root=tmp_path)
+    warnings = [v for v in report.violations if v.code == "RA700"]
+    assert len(warnings) == 1
+    assert warnings[0].path.endswith("second/mod.py")
+    assert str(first / "pyproject.toml") in warnings[0].message
+    assert str(second / "pyproject.toml") in warnings[0].message
+
+    # a single-root run stays silent
+    alone = analyze_project([first], cache_dir=None,
+                            select=PROJECT_RULES, root=tmp_path)
+    assert alone.violations == []
+
+
 def test_explicit_config_overrides_the_walk_up(tmp_path):
     (tmp_path / "mod.py").write_text(
         '"""Doc."""\n\n\ndef run(xs):\n    return sum(set(xs))\n')

@@ -115,6 +115,53 @@ def test_fixed_module_computes_the_same_values(tmp_path):
     assert after.link_index([4, 1, 3]).dtype == np.int64
 
 
+def test_scandir_fix_sorts_by_name_and_still_runs(tmp_path):
+    # DirEntry defines no `<`, so the wrap must sort by e.name — a bare
+    # sorted(os.scandir(...)) would turn a working walk into TypeError
+    tree = tmp_path / "walk"
+    tree.mkdir()
+    (tree / "pyproject.toml").write_text(
+        '[tool.repro.determinism]\nwalk = ["mod.names"]\n')
+    (tree / "mod.py").write_text(
+        '"""Doc."""\n\nimport os\n\n\ndef names(path):\n'
+        "    out = []\n"
+        "    for entry in os.scandir(path):\n"
+        "        out.append(entry.name)\n"
+        "    return out\n")
+    report = _analyze(tree)
+    assert [f.code for f in report.fixes] == ["RA701"]
+    apply_fixes(report.fixes, write=True)
+    fixed = (tree / "mod.py").read_text()
+    assert ("for entry in sorted(os.scandir(path), "
+            "key=lambda e: e.name):") in fixed
+
+    data = tmp_path / "data"
+    data.mkdir()
+    for name in ("b.txt", "a.txt", "c.txt"):
+        (data / name).write_text("x")
+    module = _import_from(tree / "mod.py", "scandir_fixed")
+    assert module.names(data) == ["a.txt", "b.txt", "c.txt"]
+
+    second = _analyze(tree)
+    assert second.fixes == [] and second.violations == []
+
+
+def test_sum_with_start_is_left_alone(tmp_path):
+    # no recipe is attached, so --fix must not touch the file at all
+    tree = tmp_path / "startarg"
+    tree.mkdir()
+    (tree / "pyproject.toml").write_text(
+        '[tool.repro.determinism]\nc = ["mod.total"]\n')
+    original = ('"""Doc."""\n\n\ndef total(xs, start):\n'
+                "    return sum(set(xs), start)\n")
+    (tree / "mod.py").write_text(original)
+    report = _analyze(tree)
+    assert [v.code for v in report.violations] == ["RA702"]
+    assert report.fixes == []
+    assert apply_fixes(report.fixes, write=True) == []
+    assert (tree / "mod.py").read_text() == original
+
+
 # -- the import inserter ------------------------------------------------------
 
 
@@ -166,12 +213,17 @@ _TEMPLATES = (
     "def h{i}(n):\n    return np.zeros(n)\n",
     "def k{i}(xs):\n    return np.array(xs, dtype=np.int_)\n",
     "def m{i}(xs):\n    return np.full(len(xs), 7)\n",
+    "def s{i}(p):\n"
+    "    out = []\n"
+    "    for e in os.scandir(p):\n"
+    "        out.append(e.name)\n"
+    "    return out\n",
     "def c{i}(xs):\n    return sorted(set(xs))\n",  # already clean
 )
 
 
 def _compose(choices):
-    parts = ['"""Doc."""\n\nimport numpy as np\n\n']
+    parts = ['"""Doc."""\n\nimport os\n\nimport numpy as np\n\n']
     parts.extend(_TEMPLATES[c].format(i=i)
                  for i, c in enumerate(choices))
     return "\n".join(parts)
