@@ -227,7 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=1)
     p_bench.add_argument("--suite",
                          choices=("all", "pipeline", "serving", "lint",
-                                  "store"),
+                                  "store", "bgp"),
                          default="all",
                          help="which measurements to run (default: all)")
     p_bench.add_argument("--workers", type=int, default=None,

@@ -20,8 +20,10 @@ from .propagation import (
     RouteInfo,
     RoutingTable,
     SPRAY_TOLERANCE,
+    UNREACHABLE,
     compute_routing_table,
     default_bias,
+    update_routing_table,
 )
 from .simulator import IngressSimulator, ShareVector, SimulatorParams
 
@@ -31,6 +33,7 @@ __all__ = [
     "AdjRibIn", "EdgeRouter", "LocRib",
     "AdvertisementState",
     "MAX_NEXTHOPS", "RouteInfo", "RoutingTable", "SPRAY_TOLERANCE",
-    "compute_routing_table", "default_bias",
+    "UNREACHABLE", "compute_routing_table", "default_bias",
+    "update_routing_table",
     "IngressSimulator", "ShareVector", "SimulatorParams",
 ]

@@ -37,6 +37,10 @@ is why the AL+G completion recovers much of the loss.
 
 Results are cached per (flow, removal-key, drift-state); routing tables
 are cached per seeded-neighbor set, so week-long simulations stay fast.
+The hot caches are bounded LRU maps (``SimulatorParams`` capacities) so
+those simulations also stay bounded in memory; table-cache misses are
+repaired by dirty-set recomputation from a pinned full-availability
+table (``propagation.update_routing_table``) instead of full rebuilds.
 """
 
 from __future__ import annotations
@@ -47,8 +51,10 @@ from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 from ..obs import runtime as obs
 from ..topology.asgraph import ASGraph, Pocket
 from ..topology.wan import CloudWAN, PeeringLink
+from ..util.cache import LruDict
 from ..util.hashing import geometric_day, mix64, rotation, unit
-from .propagation import RoutingTable, compute_routing_table, default_bias
+from .propagation import (RoutingTable, compute_routing_table, default_bias,
+                          update_routing_table)
 from .state import AdvertisementState
 
 #: (link_id, fraction) pairs, descending fraction; fractions sum to 1.0
@@ -91,6 +97,13 @@ class SimulatorParams:
     # coarse and "may just be ignored by ASes along the path")
     te_prepend_km: float = 1200.0
     te_compliance: float = 0.85
+    # bounded-cache capacities (<= 0 = unbounded).  Week-long runs touch
+    # millions of (flow, removal-key, drift) share keys and an open-ended
+    # set of removal keys; these caps turn that into bounded memory with
+    # LRU recency doing the keeping (docs/architecture.md, cache table)
+    share_cache_size: int = 262144
+    visited_cache_size: int = 131072
+    table_cache_size: int = 256
 
 
 class IngressSimulator:
@@ -112,44 +125,89 @@ class IngressSimulator:
             asn: wan.links_of_peer(asn) for asn in wan.peer_asns
         }
         self._peer_asns = frozenset(a for a in wan.peer_asns if a in graph)
-        self._table_by_removed: Dict[FrozenSet[int], RoutingTable] = {}
-        self._table_by_seeded: Dict[FrozenSet[int], RoutingTable] = {}
-        self._share_cache: Dict[Tuple[Any, ...], ShareVector] = {}
-        self._visited_cache: Dict[Tuple[Any, ...], Tuple[int, ...]] = {}
+        p = self.params
+        self._table_by_removed: LruDict[FrozenSet[int], RoutingTable] = \
+            LruDict(p.table_cache_size)
+        self._table_by_seeded: LruDict[FrozenSet[int], RoutingTable] = \
+            LruDict(p.table_cache_size)
+        self._share_cache: LruDict[Tuple[Any, ...], ShareVector] = \
+            LruDict(p.share_cache_size)
+        self._visited_cache: LruDict[Tuple[Any, ...], Tuple[int, ...]] = \
+            LruDict(p.visited_cache_size)
         self._entry_cache: Dict[Tuple[int, str], str] = {}
-        self._removed_peers_cache: Dict[FrozenSet[int], FrozenSet[int]] = {}
+        self._removed_peers_cache: LruDict[FrozenSet[int], FrozenSet[int]] = \
+            LruDict(p.table_cache_size)
         self._drift_cache: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
         self._ranked_cache: Dict[Tuple[Any, ...], Tuple[PeeringLink, ...]] = {}
         self._p_cache: Dict[Tuple[int, int], float] = {}
-        # hit/miss counters for the hot lookups (share resolution, routing
-        # tables, ranked candidate pools)
-        self._share_hits = 0
-        self._share_misses = 0
-        self._table_hits = 0
-        self._table_misses = 0
+        # the full-availability table every incremental update derives
+        # from; pinned outside the LRU so eviction can never force a
+        # second full rebuild
+        self._base_table_pin: Optional[RoutingTable] = None
+        # hit/miss counters for the ranked candidate pools (the LRU
+        # caches carry their own counters)
         self._ranked_hits = 0
         self._ranked_misses = 0
+        self._table_full_rebuilds = 0
+        self._table_incremental_updates = 0
 
     # -- routing tables -----------------------------------------------------
 
-    def routing_table(self, removed: FrozenSet[int]) -> RoutingTable:
-        """AS-level routing table for a set of removed links (cached)."""
-        table = self._table_by_removed.get(removed)
-        if table is not None:
-            self._table_hits += 1
-            return table
-        self._table_misses += 1
-        seeded = frozenset(
+    def seeded_for(self, removed: FrozenSet[int]) -> FrozenSet[int]:
+        """Peers that keep >= 1 available link once ``removed`` is gone."""
+        return frozenset(
             asn
             for asn in self._peer_asns
             if any(l.link_id not in removed for l in self._links_by_peer[asn])
         )
+
+    def _base_table(self) -> RoutingTable:
+        """Full-availability table (computed once, pinned forever)."""
+        if self._base_table_pin is None:
+            self._table_full_rebuilds += 1
+            self._base_table_pin = compute_routing_table(
+                self.graph, self._peer_asns, self._bias)
+        return self._base_table_pin
+
+    def routing_table(self, removed: FrozenSet[int]) -> RoutingTable:
+        """AS-level routing table for a set of removed links (cached).
+
+        Cache misses no longer pay a full rebuild: the table for a new
+        seeded-neighbor set is derived from the pinned full-availability
+        table by dirty-set recomputation (``update_routing_table``),
+        bit-identical to a from-scratch compute.
+        """
+        table = self._table_by_removed.get(removed)
+        if table is not None:
+            return table
+        seeded = self.seeded_for(removed)
         table = self._table_by_seeded.get(seeded)
         if table is None:
-            table = compute_routing_table(self.graph, seeded, self._bias)
+            base = self._base_table()
+            if seeded == base.seeded:
+                table = base
+            else:
+                self._table_incremental_updates += 1
+                table = update_routing_table(self.graph, base, seeded,
+                                             self._bias)
             self._table_by_seeded[seeded] = table
         self._table_by_removed[removed] = table
         return table
+
+    def install_table(self, removed: FrozenSet[int],
+                      table: RoutingTable) -> None:
+        """Adopt a routing table computed elsewhere (e.g. by a worker
+        process via ``perf.parallel`` table precomputation).
+
+        Raises ``ValueError`` if the table's seeded set does not match
+        what this simulator would compute for ``removed``.
+        """
+        seeded = self.seeded_for(removed)
+        if table.seeded != seeded:
+            raise ValueError(
+                f"table seeded set does not match removal key {sorted(removed)}")
+        self._table_by_seeded[seeded] = table
+        self._table_by_removed[removed] = table
 
     def as_distance(self, asn: int) -> Optional[int]:
         """AS-hop distance to the WAN under full availability (Figure 2)."""
@@ -205,9 +263,7 @@ class IngressSimulator:
                prepends, minor, major)
         shares = self._share_cache.get(key)
         if shares is not None:
-            self._share_hits += 1
             return shares
-        self._share_misses += 1
         if prepends:
             # TE prefixes are rare; resolve them fully
             shares = self._resolve(src_asn, src_metro, src_prefix,
@@ -238,7 +294,7 @@ class IngressSimulator:
                                  removed, minor, major)
         base_key = (src_asn, src_metro, src_prefix, dest_prefix,
                     _EMPTY_REMOVED, (), minor, major)
-        base = self._share_cache.get(base_key)
+        base = self._share_cache.get(base_key, count=False)
         if base is None:
             base = self._resolve(src_asn, src_metro, src_prefix,
                                  dest_prefix, _EMPTY_REMOVED, minor, major)
@@ -250,7 +306,13 @@ class IngressSimulator:
         base_table = self.routing_table(_EMPTY_REMOVED)
         new_table = self.routing_table(removed)
         if new_table is not base_table:
-            visited = self._visited_cache.get(base_key, ())
+            visited = self._visited_cache.get(base_key, count=False)
+            if visited is None:
+                # the LRU dropped the base walk's AS trail: without it
+                # the shortcut cannot prove the removal is irrelevant,
+                # so resolve fully (correctness over speed)
+                return self._resolve(src_asn, src_metro, src_prefix,
+                                     dest_prefix, removed, minor, major)
             for asn in visited:
                 if base_table.get(asn) != new_table.get(asn):
                     return self._resolve(src_asn, src_metro, src_prefix,
@@ -514,17 +576,26 @@ class IngressSimulator:
             "primary_share_entries": len(self._p_cache),
             "tables_by_removed": len(self._table_by_removed),
             "tables_by_seeded": len(self._table_by_seeded),
-            "share_hits": self._share_hits,
-            "share_misses": self._share_misses,
-            "table_hits": self._table_hits,
-            "table_misses": self._table_misses,
+            "share_hits": self._share_cache.hits,
+            "share_misses": self._share_cache.misses,
+            "share_evictions": self._share_cache.evictions,
+            "visited_evictions": self._visited_cache.evictions,
+            "table_hits": self._table_by_removed.hits,
+            "table_misses": self._table_by_removed.misses,
+            "table_seeded_hits": self._table_by_seeded.hits,
+            "table_seeded_misses": self._table_by_seeded.misses,
+            "table_evictions": (self._table_by_removed.evictions
+                                + self._table_by_seeded.evictions),
+            "table_full_rebuilds": self._table_full_rebuilds,
+            "table_incremental_updates": self._table_incremental_updates,
             "ranked_pool_hits": self._ranked_hits,
             "ranked_pool_misses": self._ranked_misses,
         }
 
     def export_gauges(self) -> None:
-        """Publish :meth:`cache_stats` to the obs registry as gauges
-        (``bgp.simulator.*``); a no-op while instrumentation is off.
+        """Publish :meth:`cache_stats` plus per-cache hit rates to the
+        obs registry as gauges (``bgp.simulator.*``); a no-op while
+        instrumentation is off.
 
         Gauges rather than counters on purpose: the snapshot reflects
         this simulator instance's current state, and re-exporting must
@@ -532,6 +603,9 @@ class IngressSimulator:
         """
         if not obs.enabled():
             return
-        obs.set_gauges({key: float(value)
-                        for key, value in self.cache_stats().items()},
-                       prefix="bgp.simulator.")
+        gauges = {key: float(value)
+                  for key, value in self.cache_stats().items()}
+        gauges["share_hit_rate"] = self._share_cache.hit_rate
+        gauges["visited_hit_rate"] = self._visited_cache.hit_rate
+        gauges["table_hit_rate"] = self._table_by_removed.hit_rate
+        obs.set_gauges(gauges, prefix="bgp.simulator.")

@@ -1,6 +1,6 @@
 """The ``repro bench`` command: measure, record, compare.
 
-Four suites, selectable with ``--suite`` (default runs all):
+Five suites, selectable with ``--suite`` (default runs all):
 
 * ``pipeline`` — ingestion throughput: telemetry streaming, per-record
   vs vectorised aggregation, columnar training counts, and the
@@ -17,6 +17,10 @@ Four suites, selectable with ``--suite`` (default runs all):
   ``docs/storage.md``): snapshot write throughput, restart latency to
   the first served prediction, and out-of-core retrain throughput over
   the columnar day segments.
+* ``bgp`` — the routing substrate at 10x the default AS-graph scale:
+  full columnar table builds, dirty-set incremental recomputation
+  after single-peer withdrawals, and sustained withdrawal churn
+  through the simulator's bounded table cache.
 
 Results are written as a ``BENCH_<date>.json`` report and compared
 against the last committed baseline of the same profile.
@@ -45,6 +49,8 @@ from ..analysis import (analyze_project, check_determinism,
                         extract_det_sites, find_determinism_config)
 from ..analysis.callgraph import (ModuleFacts, ProjectGraph,
                                   extract_facts)
+from ..bgp import (IngressSimulator, SimulatorParams, compute_routing_table,
+                   default_bias, update_routing_table)
 from ..core.features import FEATURES_A, FEATURES_AL, FEATURES_AP
 from ..core.persistence import train_models_from_store
 from ..core.service import ServiceConfig, TipsyService
@@ -54,6 +60,8 @@ from ..experiments.scenario import Scenario, ScenarioParams
 from ..obs import runtime as obs
 from ..pipeline.aggregation import HourlyAggregator
 from ..pipeline.records import AggRecord
+from ..topology import (MetroCatalog, TopologyParams, WANParams,
+                        generate_as_graph, generate_wan)
 from .parallel import ParallelPipelineRunner, default_workers
 from .regression import (
     BenchReport,
@@ -66,7 +74,7 @@ from .regression import (
 
 DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
 
-SUITES = ("all", "pipeline", "serving", "lint", "store")
+SUITES = ("all", "pipeline", "serving", "lint", "store", "bgp")
 
 
 def _best_of(fn: Callable[[], object], rounds: int = 3) -> float:
@@ -388,6 +396,87 @@ def _bench_store(report: BenchReport, profile: str, seed: int,
               f"({n_days} days)")
 
 
+def _bench_bgp(report: BenchReport, profile: str, seed: int,
+               rounds: int) -> None:
+    """Routing substrate: full builds, incremental repair, churn.
+
+    The full profile runs a 10x-default AS graph (~6k ASes) — the scale
+    the dirty-set path exists for; smoke runs the default-scale graph so
+    CI measures the same code in seconds.  The incremental metric is the
+    headline: single-peer withdrawals repaired by ``update_routing_table``
+    against the full ``compute_routing_table`` rebuild the repair is
+    bit-identical to.
+    """
+    t_build = time.perf_counter()
+    if profile == "smoke":
+        topo = TopologyParams()
+    else:
+        topo = TopologyParams(n_tier1=8, n_transit=120, n_access=1200,
+                              n_cdn=24, n_stub=4600)
+    metros = MetroCatalog()
+    graph = generate_as_graph(metros, topo, seed=seed)
+    wan = generate_wan(graph, WANParams(), seed=seed)
+    bias = default_bias(graph, seed)
+    base_seeded = frozenset(wan.peer_asns)
+    n_asns = len(graph)
+    print(f"bgp: {n_asns} ASes, {len(base_seeded)} peers, "
+          f"{len(wan.links)} links "
+          f"(built in {time.perf_counter() - t_build:.1f}s); "
+          f"best of {rounds}")
+
+    # 1. full columnar table build (the cost the dirty-set path avoids)
+    base = compute_routing_table(graph, base_seeded, bias)
+    full_s = _best_of(
+        lambda: compute_routing_table(graph, base_seeded, bias), rounds)
+    report.record("bgp_full_table_asns_per_s", n_asns / full_s)
+    print(f"  full build:         {n_asns / full_s:8.0f} ASes/s "
+          f"({full_s * 1e3:.1f} ms/table)")
+
+    # 2. dirty-set incremental repair after single-peer withdrawals,
+    # measured over a deterministic sample of peers and amortised
+    sample = sorted(base_seeded)[::max(1, len(base_seeded) // 16)][:16]
+    deltas = [base_seeded - {asn} for asn in sample]
+
+    def repair_all() -> None:
+        for seeded in deltas:
+            update_routing_table(graph, base, seeded, bias)
+
+    incr_s = _best_of(repair_all, rounds) / len(deltas)
+    speedup = full_s / incr_s
+    report.record("bgp_incremental_recompute_per_s", 1.0 / incr_s)
+    report.meta["bgp_incremental_speedup"] = f"{speedup:.1f}"
+    print(f"  incremental repair: {1.0 / incr_s:8.1f} tables/s "
+          f"({incr_s * 1e3:.2f} ms/update, {speedup:.1f}x over full)")
+
+    # 3. withdrawal churn through the simulator: more distinct removal
+    # sets than the table cache holds, so every lookup exercises the
+    # miss path (seed diff + incremental repair + install), which is
+    # what a long outage-schedule replay pays
+    sim = IngressSimulator(graph, wan, SimulatorParams(table_cache_size=8),
+                           seed=seed)
+    churn_keys = []
+    for asn in sorted(base_seeded):
+        links = wan.links_of_peer(asn)
+        if len(links) == 1:
+            churn_keys.append(frozenset({links[0].link_id}))
+        if len(churn_keys) >= 24:
+            break
+    sim.routing_table(frozenset())            # warm the pinned base table
+
+    def churn() -> None:
+        for key in churn_keys:
+            sim.routing_table(key)
+
+    churn_s = _best_of(churn, rounds) / len(churn_keys)
+    report.record("bgp_withdrawal_churn_tables_per_s", 1.0 / churn_s)
+    print(f"  withdrawal churn:   {1.0 / churn_s:8.1f} tables/s "
+          f"({len(churn_keys)} keys through a {sim.params.table_cache_size}"
+          "-entry cache)")
+    sim.export_gauges()
+    for key, value in sim.cache_stats().items():
+        report.meta[f"bgp_{key}"] = str(value)
+
+
 def run_bench(
     profile: str = "full",
     seed: int = 1,
@@ -432,6 +521,9 @@ def run_bench(
     if suite in ("all", "store"):
         with obs.span("bench.store"):
             _bench_store(report, profile, seed, rounds)
+    if suite in ("all", "bgp"):
+        with obs.span("bench.bgp"):
+            _bench_bgp(report, profile, seed, rounds)
     report.meta["obs"] = json.dumps(
         obs.snapshot().to_json(), sort_keys=True, separators=(",", ":"))
     if trace_out is not None:

@@ -22,6 +22,12 @@ Consequently ``iter_hours``/``iter_hour_columns`` yield *bit-identical*
 output to the serial path (``parallel=False``) for any worker count and
 shard size, and ``collect_counts`` builds training counts that are
 bit-identical to a serial single-pass accumulation.
+
+``precompute_tables`` extends the same pattern to the BGP substrate:
+routing tables for a set of withdrawal scenarios are derived
+incrementally in the workers (dirty-set repair from each worker's
+pinned base table), shipped back as snapshot columns, and installed
+into the parent simulator's bounded table cache.
 """
 
 from __future__ import annotations
@@ -29,8 +35,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Optional,
+                    Sequence, Tuple)
 
+from ..bgp.propagation import RoutingTable
 from ..core.training import CountsAccumulator
 from ..obs import runtime as obs
 from ..obs.metrics import MetricsSnapshot
@@ -160,6 +168,26 @@ def _collect_shard(task: Tuple[int, int]) -> ShardResult:
     acc.flush()
     return (start_hour, end_hour, acc.by_downset, acc.total, acc.link_matrix,
             _obs_delta_finish(obs_before))
+
+
+#: one precomputed routing table shipped back from a worker: the removal
+#: key it answers plus the table's snapshot columns (numpy arrays cross
+#: the process boundary far faster than per-AS RouteInfo objects)
+TableResult = Tuple[FrozenSet[int], Dict[str, "np.ndarray"]]
+
+
+def _tables_shard(
+    task: Tuple[Tuple[FrozenSet[int], ...]],
+) -> Tuple[List[TableResult], Optional[MetricsSnapshot]]:
+    """Compute routing tables for one shard of removal keys."""
+    (keys,) = task
+    scenario: Scenario = _WORKER["scenario"]  # type: ignore[assignment]
+    sim = scenario.simulator
+    obs_before = _obs_delta_start()
+    out: List[TableResult] = []
+    for removed in keys:
+        out.append((removed, sim.routing_table(removed).to_arrays()))
+    return out, _obs_delta_finish(obs_before)
 
 
 # -- sharding -----------------------------------------------------------------
@@ -379,3 +407,53 @@ class ParallelPipelineRunner:
             if obs_delta is not None and obs.enabled():
                 obs.registry().merge(obs_delta)
         return acc
+
+    # -- routing-table precompute -------------------------------------------
+
+    def precompute_tables(self, removal_keys: Sequence[FrozenSet[int]],
+                          parallel: bool = True) -> int:
+        """Warm the simulator's routing-table cache for ``removal_keys``.
+
+        Keys are deduplicated and sharded deterministically (sorted link
+        ids); each worker derives its tables incrementally from its own
+        pinned base table and ships back snapshot columns, which the
+        parent rehydrates with :meth:`RoutingTable.from_arrays` and
+        installs via :meth:`IngressSimulator.install_table`.  Because a
+        table is a pure function of the graph and the surviving seed
+        set, worker-computed tables are bit-identical to parent-computed
+        ones — ``parallel=False`` runs the same loop in-process.
+
+        Returns the number of distinct keys warmed.
+        """
+        sim = self.scenario.simulator
+        keys = sorted({frozenset(k) for k in removal_keys},
+                      key=lambda k: tuple(sorted(k)))
+        if not keys:
+            return 0
+        if not parallel or self.n_workers <= 1 or len(keys) <= 1:
+            for removed in keys:
+                sim.routing_table(removed)
+            return len(keys)
+        n_shards = min(self.n_workers, len(keys))
+        base, extra = divmod(len(keys), n_shards)
+        shards: List[Tuple[FrozenSet[int], ...]] = []
+        lo = 0
+        for i in range(n_shards):
+            hi = lo + base + (1 if i < extra else 0)
+            shards.append(tuple(keys[lo:hi]))
+            lo = hi
+        obs.count("bgp.table_shards_dispatched", float(len(shards)))
+        pool = self._pool()
+        futures = [pool.submit(_tables_shard, (shard,)) for shard in shards]
+        graph = self.scenario.graph
+        installed = 0
+        for future in futures:
+            results, obs_delta = future.result()
+            for removed, arrays in results:
+                sim.install_table(removed,
+                                  RoutingTable.from_arrays(graph, arrays))
+                installed += 1
+            if obs_delta is not None and obs.enabled():
+                obs.registry().merge(obs_delta)
+        obs.count("bgp.tables_precomputed", float(installed))
+        return installed

@@ -5,10 +5,11 @@ Everything TIPSY persists is, at heart, one of two shapes:
 * a *keyed table* — ``{(int, ...): float}`` with a fixed key width
   (flow-context counts, feature-grain model counts), stored as one
   ``int64`` column per key field plus one ``float64`` value column;
-* a *ragged column* — a list of variable-length float lists (the exact
-  Shewchuk partials behind each model sum), stored as a flat ``float64``
-  value array plus an ``int64`` offsets array (CSR-style:
-  ``values[offsets[i]:offsets[i + 1]]`` is row ``i``).
+* a *ragged column* — a list of variable-length rows (the exact
+  Shewchuk partials behind each model sum, a routing table's ranked
+  next-hops), stored as a flat value array (dtype pinned per column:
+  ``float64`` partials, ``int64`` next-hops) plus an ``int64`` offsets
+  array (CSR-style: ``values[offsets[i]:offsets[i + 1]]`` is row ``i``).
 
 Both encodings are lossless for the types the pipeline produces:
 key fields are ordinal-encoded ints (``int64``-representable by
@@ -87,16 +88,19 @@ def decode_keyed_table(columns: Mapping[str, np.ndarray], width: int,
 
 
 def encode_ragged(rows: Sequence[Sequence[float]],
+                  dtype: type = np.float64,
                   ) -> Tuple[np.ndarray, np.ndarray]:
-    """Encode variable-length float rows as ``(values, offsets)``.
+    """Encode variable-length rows as ``(values, offsets)``.
 
     ``offsets`` has ``len(rows) + 1`` entries; row ``i`` is
-    ``values[offsets[i]:offsets[i + 1]]``.
+    ``values[offsets[i]:offsets[i + 1]]``.  ``dtype`` pins the value
+    column (``float64`` for byte counts, ``int64`` for routing
+    next-hops); it must represent every row element losslessly.
     """
     offsets = np.zeros(len(rows) + 1, dtype=np.int64)
     for i, row in enumerate(rows):
         offsets[i + 1] = offsets[i] + len(row)
-    values = np.empty(int(offsets[-1]), dtype=np.float64)
+    values = np.empty(int(offsets[-1]), dtype=dtype)
     for i, row in enumerate(rows):
         values[int(offsets[i]):int(offsets[i + 1])] = row
     return values, offsets

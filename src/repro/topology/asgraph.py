@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 import networkx as nx
+import numpy as np
 
 from .geography import MetroCatalog
 from .relationships import Relationship
@@ -92,6 +93,9 @@ class ASGraph:
         self.metros = metros
         self._nodes: Dict[int, ASNode] = {}
         self._adj: Dict[int, Dict[int, Relationship]] = {}
+        self._version = 0
+        self._dense: Optional["DenseTopology"] = None
+        self._dense_version = -1
 
     # -- construction -----------------------------------------------------
 
@@ -103,6 +107,7 @@ class ASGraph:
                 raise ValueError(f"AS{node.asn} footprint metro {metro!r} unknown")
         self._nodes[node.asn] = node
         self._adj[node.asn] = {}
+        self._version += 1
 
     def add_link(self, a: int, b: int, rel_of_b: Relationship) -> None:
         """Add an adjacency; ``rel_of_b`` is what ``b`` is to ``a``."""
@@ -115,6 +120,7 @@ class ASGraph:
             raise ValueError(f"link AS{a}-AS{b} already present")
         self._adj[a][b] = rel_of_b
         self._adj[b][a] = rel_of_b.invert()
+        self._version += 1
 
     # -- queries ----------------------------------------------------------
 
@@ -150,6 +156,23 @@ class ASGraph:
     def peers(self, asn: int) -> Tuple[int, ...]:
         return tuple(n for n, rel in self._adj[asn].items() if rel is Relationship.PEER)
 
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every mutation (cache layers)."""
+        return self._version
+
+    def dense(self) -> "DenseTopology":
+        """Columnar CSR view of the graph (cached until mutated).
+
+        The view assigns every AS a dense row index in insertion order;
+        routing tables and other columnar consumers share it so their
+        arrays stay aligned across derived states.
+        """
+        if self._dense is None or self._dense_version != self._version:
+            self._dense = DenseTopology(self)
+            self._dense_version = self._version
+        return self._dense
+
     def to_networkx(self) -> nx.Graph:
         """Export to an undirected networkx graph (for analysis/plots)."""
         graph = nx.Graph()
@@ -180,6 +203,58 @@ class ASGraph:
             for b, rel in nbrs.items():
                 if self._adj[b][a] is not rel.invert():
                     raise ValueError(f"asymmetric relationship on AS{a}-AS{b}")
+
+
+class DenseTopology:
+    """Immutable columnar (CSR) view of an :class:`ASGraph`.
+
+    Rows are ASes in graph insertion order; ``index`` maps ASN -> row.
+    Provider and customer adjacencies are packed CSR-style — for row
+    ``r``, ``prov_indices[prov_indptr[r]:prov_indptr[r + 1]]`` are the
+    rows of ``r``'s providers — with explicit dtype pins (``int32`` row
+    ids, ``int64`` ASNs/offsets) so tables derived from the view are
+    platform-stable (RA703).
+
+    Built by :meth:`ASGraph.dense`; treat instances as frozen.
+    """
+
+    def __init__(self, graph: ASGraph):
+        asns = tuple(graph.asns)
+        self.n = len(asns)
+        self.asns = np.array(asns, dtype=np.int64)
+        self.index: Dict[int, int] = {asn: row for row, asn in enumerate(asns)}
+        self.prov_indptr, self.prov_indices = self._pack(graph, asns, True)
+        self.cust_indptr, self.cust_indices = self._pack(graph, asns, False)
+
+    def _pack(self, graph: ASGraph, asns: Tuple[int, ...],
+              providers: bool) -> Tuple[np.ndarray, np.ndarray]:
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        rows: List[np.ndarray] = []
+        for row, asn in enumerate(asns):
+            nbrs = graph.providers(asn) if providers else graph.customers(asn)
+            packed = np.array([self.index[n] for n in nbrs], dtype=np.int32)
+            indptr[row + 1] = indptr[row] + len(packed)
+            rows.append(packed)
+        if rows:
+            indices = np.concatenate(rows).astype(np.int32, copy=False)
+        else:
+            indices = np.zeros(0, dtype=np.int32)
+        return indptr, indices
+
+    def providers_of(self, row: int) -> np.ndarray:
+        """Provider rows of ``row`` (int32 slice of the CSR arrays)."""
+        return self.prov_indices[self.prov_indptr[row]:self.prov_indptr[row + 1]]
+
+    def customers_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Sorted unique customer rows of every row in ``rows``."""
+        counts = self.cust_indptr[rows + 1] - self.cust_indptr[rows]
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.int32)
+        starts = np.repeat(self.cust_indptr[rows], counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts)
+        return np.unique(self.cust_indices[starts + within])
 
 
 @dataclass

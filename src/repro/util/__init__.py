@@ -8,10 +8,12 @@ incremental rolling-window retrain bit-identical to a from-scratch
 rebuild.
 """
 
+from .cache import LruDict
 from .exactsum import exact_add, exact_is_zero, exact_sub, exact_value
 from .hashing import geometric_day, mix64, pick, rotation, unit
 
 __all__ = [
+    "LruDict",
     "exact_add", "exact_is_zero", "exact_sub", "exact_value",
     "geometric_day", "mix64", "pick", "rotation", "unit",
 ]

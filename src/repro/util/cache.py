@@ -1,0 +1,81 @@
+"""Bounded LRU mapping with hit/miss/eviction counters.
+
+Week-long simulations resolve millions of (flow, removal-key, drift)
+combinations; the caches that make them fast must not also make them
+unbounded.  :class:`LruDict` is the one bounded-mapping primitive the
+hot paths share: an ``OrderedDict`` kept in recency order, evicting the
+least-recently-used entry once ``capacity`` is exceeded, with counters
+cheap enough to read on every export (``repro.obs`` gauges).
+
+``capacity <= 0`` means unbounded — the same mapping, the same
+counters, no eviction — so callers can expose a single knob that turns
+bounding off for short-lived runs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Optional, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class LruDict(Generic[K, V]):
+    """Least-recently-used bounded mapping with usage counters.
+
+    ``get`` and ``put`` refresh recency; once ``len() > capacity`` the
+    stalest entry is dropped.  ``hits``/``misses`` count ``get`` calls
+    (unless ``count=False``), ``evictions`` counts capacity drops.
+    """
+
+    __slots__ = ("capacity", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int = 0):
+        self.capacity = capacity
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: K, count: bool = True) -> Optional[V]:
+        """The value for ``key`` (refreshing its recency), else None."""
+        value = self._data.get(key)
+        if value is None:
+            if count:
+                self.misses += 1
+            return None
+        if count:
+            self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert/overwrite ``key``, evicting the stalest entry if full."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if self.capacity > 0:
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def __setitem__(self, key: K, value: V) -> None:
+        self.put(key, value)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of counted ``get`` calls that hit (0.0 when unused)."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total

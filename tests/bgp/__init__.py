@@ -1,0 +1,1 @@
+"""BGP substrate tests."""

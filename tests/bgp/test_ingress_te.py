@@ -10,7 +10,7 @@ import pytest
 
 from repro.bgp import AdvertisementState, IngressSimulator, SimulatorParams
 
-from test_simulator import build_world
+from .test_simulator import build_world
 
 
 @pytest.fixture()

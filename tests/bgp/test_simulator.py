@@ -296,3 +296,61 @@ class TestCacheStats:
         assert stats["share_misses"] == 2
         assert stats["table_hits"] >= 1
         assert stats["table_misses"] >= 1
+
+
+class TestBoundedCaches:
+    def test_table_cache_bounded_and_counted(self):
+        graph, wan = build_world()
+        sim = IngressSimulator(graph, wan, SimulatorParams(table_cache_size=2),
+                               seed=1)
+        # every key deseeds at least one peer (all its links removed), so
+        # each distinct seeded set needs its own derived table
+        keys = [frozenset({0, 1}), frozenset({4, 5}), frozenset({2, 3, 6}),
+                frozenset({0, 1, 4, 5}), frozenset({0, 1, 2, 3, 6})]
+        for key in keys:
+            sim.routing_table(key)
+        stats = sim.cache_stats()
+        assert stats["tables_by_removed"] <= 2
+        assert stats["tables_by_seeded"] <= 2
+        assert stats["table_evictions"] > 0
+        # the pinned base is outside the LRU: churn paid exactly one
+        # full rebuild, the rest were incremental repairs
+        assert stats["table_full_rebuilds"] == 1
+        assert stats["table_incremental_updates"] >= len(keys) - 1
+
+    def test_evicted_table_recomputed_identically(self):
+        graph, wan = build_world()
+        sim = IngressSimulator(graph, wan, SimulatorParams(table_cache_size=1),
+                               seed=1)
+        first = sim.routing_table(frozenset({0, 1}))
+        sim.routing_table(frozenset({2}))          # evicts the first table
+        again = sim.routing_table(frozenset({0, 1}))
+        assert again is not first
+        assert again.columns_equal(first)
+
+    def test_install_table_validates_seeded_set(self):
+        graph, wan = build_world()
+        sim = IngressSimulator(graph, wan, SimulatorParams(), seed=1)
+        table = sim.routing_table(frozenset({0, 1}))  # deseeds peer 1
+        with pytest.raises(ValueError):
+            sim.install_table(frozenset({2}), table)
+        sim.install_table(frozenset({0, 1}), table)
+        assert sim.routing_table(frozenset({0, 1})) is table
+
+    def test_export_gauges_includes_rates(self):
+        from repro.obs import runtime as obs
+
+        graph, wan = build_world()
+        sim = IngressSimulator(graph, wan, SimulatorParams(), seed=1)
+        sim.routing_table(frozenset())
+        sim.routing_table(frozenset())
+        obs.enable(fresh=True)
+        try:
+            sim.export_gauges()
+            gauges = obs.snapshot().gauges
+            assert gauges["bgp.simulator.table_hit_rate"] == 0.5
+            assert "bgp.simulator.share_hit_rate" in gauges
+            assert "bgp.simulator.visited_hit_rate" in gauges
+            assert "bgp.simulator.table_full_rebuilds" in gauges
+        finally:
+            obs.disable()

@@ -143,3 +143,48 @@ class TestCollectWindow:
         with ParallelPipelineRunner(scenario=other, n_workers=1) as runner:
             with pytest.raises(ValueError, match="must match"):
                 EvaluationRunner(small_scenario, pipeline=runner)
+
+
+class TestPrecomputeTables:
+    @staticmethod
+    def _deseeding_keys(scenario, n):
+        """Removal keys that each take a whole peer down (all its links),
+        so every key needs a genuinely different routing table."""
+        keys = []
+        for asn in sorted(scenario.wan.peer_asns):
+            links = scenario.wan.links_of_peer(asn)
+            keys.append(frozenset(l.link_id for l in links))
+            if len(keys) >= n:
+                break
+        return keys
+
+    def test_worker_tables_bit_identical(self, small_scenario, pipeline):
+        from repro.bgp import IngressSimulator
+
+        keys = self._deseeding_keys(small_scenario, 4)
+        assert keys
+        installed = pipeline.precompute_tables(keys, parallel=True)
+        assert installed == len(keys)
+        sim = small_scenario.simulator
+        fresh = IngressSimulator(small_scenario.graph, small_scenario.wan,
+                                 sim.params, seed=sim.seed)
+        for key in keys:
+            assert sim.routing_table(key).columns_equal(
+                fresh.routing_table(key))
+
+    def test_installed_tables_are_cache_hits(self, small_scenario, pipeline):
+        keys = self._deseeding_keys(small_scenario, 3)
+        pipeline.precompute_tables(keys, parallel=True)
+        sim = small_scenario.simulator
+        before = sim.cache_stats()["table_hits"]
+        for key in keys:
+            sim.routing_table(key)
+        assert sim.cache_stats()["table_hits"] == before + len(keys)
+
+    def test_serial_path_and_dedupe(self, small_scenario):
+        keys = self._deseeding_keys(small_scenario, 3)
+        with ParallelPipelineRunner(scenario=small_scenario,
+                                    n_workers=1) as runner:
+            assert runner.precompute_tables(keys + keys,
+                                            parallel=False) == len(keys)
+            assert runner.precompute_tables([], parallel=True) == 0

@@ -1,0 +1,75 @@
+"""Tests for the bounded LRU mapping behind the simulator caches."""
+
+from repro.util import LruDict
+
+
+class TestLruDict:
+    def test_put_get_roundtrip(self):
+        cache: LruDict[str, int] = LruDict(capacity=4)
+        cache.put("a", 1)
+        cache["b"] = 2
+        assert cache.get("a") == 1
+        assert cache.get("b") == 2
+        assert len(cache) == 2
+        assert "a" in cache and "c" not in cache
+
+    def test_counts_hits_and_misses(self):
+        cache: LruDict[str, int] = LruDict(capacity=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("zzz") is None
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_uncounted_get(self):
+        cache: LruDict[str, int] = LruDict(capacity=4)
+        cache.put("a", 1)
+        assert cache.get("a", count=False) == 1
+        assert cache.get("zzz", count=False) is None
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert cache.hit_rate == 0.0
+
+    def test_evicts_least_recently_used(self):
+        cache: LruDict[int, int] = LruDict(capacity=3)
+        for key in (1, 2, 3):
+            cache.put(key, key * 10)
+        assert cache.get(1) == 10        # 1 is now most recent
+        cache.put(4, 40)                 # evicts 2, the stalest
+        assert cache.get(2) is None
+        assert cache.get(1) == 10
+        assert cache.get(3) == 30
+        assert cache.evictions == 1
+        assert len(cache) == 3
+
+    def test_overwrite_refreshes_recency(self):
+        cache: LruDict[int, int] = LruDict(capacity=2)
+        cache.put(1, 10)
+        cache.put(2, 20)
+        cache.put(1, 11)                 # rewrite moves 1 to the fresh end
+        cache.put(3, 30)                 # evicts 2
+        assert cache.get(1) == 11
+        assert cache.get(2) is None
+
+    def test_falsy_values_still_hit(self):
+        # the simulator caches empty ShareVectors; a falsy value must not
+        # read as a miss
+        cache: LruDict[str, tuple] = LruDict(capacity=2)
+        cache.put("empty", ())
+        assert cache.get("empty") == ()
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_unbounded_when_capacity_nonpositive(self):
+        cache: LruDict[int, int] = LruDict(capacity=0)
+        for key in range(1000):
+            cache.put(key, key)
+        assert len(cache) == 1000
+        assert cache.evictions == 0
+
+    def test_clear_keeps_counters(self):
+        cache: LruDict[int, int] = LruDict(capacity=2)
+        cache.put(1, 10)
+        cache.get(1)
+        cache.get(2)
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (1, 1)
