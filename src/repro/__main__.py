@@ -17,6 +17,9 @@ Commands:
   (``docs/observability.md``).
 * ``snapshot`` — save, load (with byte-identical verification) and
   inspect persistent service state snapshots (``docs/storage.md``).
+* ``serve`` — run the long-running sharded serving daemon over a
+  telemetry stream, or inspect one of its checkpoints
+  (``docs/operations.md``).
 """
 
 from __future__ import annotations
@@ -182,6 +185,12 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
     return run_snapshot(args)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.cli import run_serve
+
+    return run_serve(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full CLI parser (also introspected by the docs checker)."""
     parser = argparse.ArgumentParser(
@@ -227,7 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=1)
     p_bench.add_argument("--suite",
                          choices=("all", "pipeline", "serving", "lint",
-                                  "store", "bgp"),
+                                  "store", "bgp", "soak"),
                          default="all",
                          help="which measurements to run (default: all)")
     p_bench.add_argument("--workers", type=int, default=None,
@@ -265,6 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
     from .store.cli import add_snapshot_arguments
     add_snapshot_arguments(p_snap)
     p_snap.set_defaults(func=cmd_snapshot)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the sharded serving daemon / inspect checkpoints")
+    from .serve.cli import add_serve_arguments
+    add_serve_arguments(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     return parser
 

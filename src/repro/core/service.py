@@ -40,8 +40,8 @@ import json
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import (AbstractSet, Dict, FrozenSet, List, Optional, Sequence,
-                    Tuple, Union)
+from typing import (AbstractSet, Callable, Dict, FrozenSet, Iterable, List,
+                    Optional, Sequence, Tuple, Union)
 
 import numpy as np
 
@@ -58,6 +58,74 @@ from .training import CountsAccumulator
 
 #: one day's counts projected onto a feature grain: key -> link -> bytes
 GrainProjection = Dict[Tuple[object, ...], Dict[int, float]]
+
+#: flow-group answer: the group's predictions plus its summed bytes
+GroupAnswer = Tuple[Tuple[Prediction, ...], float]
+
+
+def group_flows(
+    group_key: Callable[[FlowContext], object],
+    flows: Sequence[Tuple[FlowContext, float]],
+) -> Tuple[List[object], List[FlowContext], List[float]]:
+    """Group byte-weighted flows by a model's feature key.
+
+    Returns aligned (keys, representative contexts, summed bytes) in
+    first-occurrence order.  Both the single-process ``what_if`` and the
+    sharded daemon (:mod:`repro.serve`) group through this one function,
+    so their byte accumulation order — and therefore their float sums —
+    are identical by construction.
+    """
+    group_index: Dict[object, int] = {}
+    group_keys: List[object] = []
+    group_contexts: List[FlowContext] = []
+    group_bytes: List[float] = []
+    for context, bytes_ in flows:
+        key = group_key(context)
+        index = group_index.get(key)
+        if index is None:
+            group_index[key] = len(group_contexts)
+            group_keys.append(key)
+            group_contexts.append(context)
+            group_bytes.append(bytes_)
+        else:
+            group_bytes[index] += bytes_
+    return group_keys, group_contexts, group_bytes
+
+
+def spill_from_groups(groups: Iterable[GroupAnswer]) -> Dict[int, float]:
+    """Per-link byte spill from grouped predictions.
+
+    The accumulation half of ``what_if``: byte-weight each group's
+    predictions by score, sum per link with numpy, and report bytes with
+    no prediction under link id ``-1``.  Shared by
+    :meth:`TipsyService.what_if` and the sharded daemon so both paths
+    produce bit-identical spill for the same groups in the same order.
+    """
+    link_ids: List[int] = []
+    link_weights: List[float] = []
+    unplaceable = 0.0
+    for predictions, bytes_ in groups:
+        total = sum(p.score for p in predictions)
+        if total <= 0.0:
+            unplaceable += bytes_
+            continue
+        for p in predictions:
+            link_ids.append(p.link_id)
+            link_weights.append(bytes_ * p.score / total)
+    spill: Dict[int, float] = {}
+    if link_ids:
+        links = np.asarray(link_ids, dtype=np.int64)
+        unique, inverse = np.unique(links, return_inverse=True)
+        sums = np.bincount(inverse.ravel(),
+                           weights=np.asarray(link_weights,
+                                              dtype=np.float64),
+                           minlength=len(unique))
+        spill = {int(link): float(total_)
+                 for link, total_
+                 in zip(unique.tolist(), sums.tolist())}
+    if unplaceable > 0.0:
+        spill[-1] = spill.get(-1, 0.0) + unplaceable
+    return spill
 
 #: snapshot layout version, stamped into the store manifest meta; bump
 #: on any change to segment naming, column sets, or the state dict
@@ -551,55 +619,36 @@ class TipsyService:
             obs.count("service.what_if.calls")
             obs.count("service.what_if.flows", float(len(flows)))
         with obs.timed("service.what_if"):
-            k = k or self.config.prediction_k
-            prior = frozenset(withdrawn)
-            name = self.config.withdrawal_model
-            model = self.model(name)
-            group_key = model.group_key
-            group_index: Dict[object, int] = {}
-            group_keys: List[object] = []
-            group_contexts: List[FlowContext] = []
-            group_bytes: List[float] = []
-            for context, bytes_ in flows:
-                key = group_key(context)
-                index = group_index.get(key)
-                if index is None:
-                    group_index[key] = len(group_contexts)
-                    group_keys.append(key)
-                    group_contexts.append(context)
-                    group_bytes.append(bytes_)
-                else:
-                    group_bytes[index] += bytes_
+            model = self.model(self.config.withdrawal_model)
+            _keys, group_contexts, group_bytes = group_flows(
+                model.group_key, flows)
             if not group_contexts:
                 return {}
-            link_ids: List[int] = []
-            link_weights: List[float] = []
-            unplaceable = 0.0
-            for key, context, bytes_ in zip(group_keys, group_contexts,
-                                            group_bytes):
-                predictions = self._predict_grouped(
-                    name, model, key, context, k, prior)
-                total = sum(p.score for p in predictions)
-                if total <= 0.0:
-                    unplaceable += bytes_
-                    continue
-                for p in predictions:
-                    link_ids.append(p.link_id)
-                    link_weights.append(bytes_ * p.score / total)
-            spill: Dict[int, float] = {}
-            if link_ids:
-                links = np.asarray(link_ids, dtype=np.int64)
-                unique, inverse = np.unique(links, return_inverse=True)
-                sums = np.bincount(inverse.ravel(),
-                                   weights=np.asarray(link_weights,
-                                                      dtype=np.float64),
-                                   minlength=len(unique))
-                spill = {int(link): float(total_)
-                         for link, total_
-                         in zip(unique.tolist(), sums.tolist())}
-            if unplaceable > 0.0:
-                spill[-1] = spill.get(-1, 0.0) + unplaceable
-            return spill
+            predictions = self.withdrawal_predictions(
+                group_contexts, k, withdrawn)
+            return spill_from_groups(zip(predictions, group_bytes))
+
+    def withdrawal_predictions(
+        self,
+        contexts: Sequence[FlowContext],
+        k: Optional[int] = None,
+        withdrawn: AbstractSet[int] = NO_LINKS,
+    ) -> List[Tuple[Prediction, ...]]:
+        """Per-context predictions of the withdrawal model, memoized.
+
+        The building block the sharded daemon scatters: each shard
+        answers its own contexts and the parent re-runs the exact
+        :func:`spill_from_groups` accumulation, so a sharded ``what_if``
+        is bit-identical to the single-process one.
+        """
+        k = k or self.config.prediction_k
+        prior = frozenset(withdrawn)
+        name = self.config.withdrawal_model
+        model = self.model(name)
+        group_key = model.group_key
+        return [self._predict_grouped(name, model, group_key(context),
+                                      context, k, prior)
+                for context in contexts]
 
     def what_if_per_flow(
         self,

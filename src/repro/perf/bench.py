@@ -1,6 +1,6 @@
 """The ``repro bench`` command: measure, record, compare.
 
-Five suites, selectable with ``--suite`` (default runs all):
+Six suites, selectable with ``--suite`` (default runs all):
 
 * ``pipeline`` — ingestion throughput: telemetry streaming, per-record
   vs vectorised aggregation, columnar training counts, and the
@@ -22,6 +22,13 @@ Five suites, selectable with ``--suite`` (default runs all):
   after single-peer withdrawals, and sustained withdrawal churn
   through the simulator's bounded table cache.
 
+* ``soak`` — the serving daemon (``repro.serve``) under sustained
+  load: a paced hourly ingest stream runs concurrently with a
+  continuous query loop issuing heavy-tailed prediction batches, and
+  the suite reports sustained predictions/s plus p50/p99 query latency
+  (recorded as inverse seconds so the regression gate's
+  higher-is-better convention applies).
+
 Results are written as a ``BENCH_<date>.json`` report and compared
 against the last committed baseline of the same profile.
 
@@ -41,6 +48,7 @@ import json
 import os
 import shutil
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
@@ -62,6 +70,7 @@ from ..pipeline.aggregation import HourlyAggregator
 from ..pipeline.records import AggRecord
 from ..topology import (MetroCatalog, TopologyParams, WANParams,
                         generate_as_graph, generate_wan)
+from ..util.hashing import unit
 from .parallel import ParallelPipelineRunner, default_workers
 from .regression import (
     BenchReport,
@@ -74,7 +83,7 @@ from .regression import (
 
 DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
 
-SUITES = ("all", "pipeline", "serving", "lint", "store", "bgp")
+SUITES = ("all", "pipeline", "serving", "lint", "store", "bgp", "soak")
 
 
 def _best_of(fn: Callable[[], object], rounds: int = 3) -> float:
@@ -477,6 +486,125 @@ def _bench_bgp(report: BenchReport, profile: str, seed: int,
         report.meta[f"bgp_{key}"] = str(value)
 
 
+def _soak_setup(profile: str) -> Tuple[int, float]:
+    """(shards, seconds between live hours) for the soak suite."""
+    if profile == "smoke":
+        return 2, 0.05
+    return 4, 0.25
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """The q-quantile of an ascending list (nearest-rank)."""
+    assert sorted_values
+    index = min(len(sorted_values) - 1,
+                int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def _soak_batch_sizes(n_batches: int, n_contexts: int,
+                      seed: int) -> List[Tuple[int, int]]:
+    """Deterministic (start, size) query batches, heavy-tailed sizes.
+
+    Batch sizes follow a Pareto (alpha=1.2) — most queries are small
+    incident probes, a rare few sweep a large slice of the flow
+    population — matching the heavy-tailed arrivals the serving path
+    sees in practice.
+    """
+    alpha, x_m = 1.2, 4.0
+    cap = max(1, min(512, n_contexts))
+    batches: List[Tuple[int, int]] = []
+    for i in range(n_batches):
+        u = max(unit(2 * i, seed=seed), 1e-9)
+        size = min(cap, int(x_m * u ** (-1.0 / alpha)))
+        start = int(unit(2 * i + 1, seed=seed) * n_contexts)
+        batches.append((start, max(1, size)))
+    return batches
+
+
+def _bench_soak(report: BenchReport, profile: str, seed: int) -> None:
+    """Serving daemon under sustained concurrent ingest (one long run).
+
+    A warm phase streams the training window into the sharded daemon;
+    the measured phase then runs the remaining days as a *paced* live
+    feed from a background thread while the foreground loop issues
+    heavy-tailed prediction batches back to back.  Day boundaries in
+    the live feed trigger per-shard incremental retrains and hot swaps
+    mid-measurement — the p99 shows whether a query ever waited on one.
+    Latency percentiles are recorded as inverses (``1/p50``) so the
+    regression gate's higher-is-better drop detection applies.
+    """
+    from ..serve import DaemonConfig, ServeDaemon
+
+    t_build = time.perf_counter()
+    scenario, window_days = _serving_setup(profile, seed)
+    n_shards, hour_gap = _soak_setup(profile)
+    warm_hours = (window_days + 1) * 24
+    live_hours = scenario.horizon_hours - warm_hours
+    hourly = [scenario.agg_records_for(cols)
+              for cols in scenario.stream(0, scenario.horizon_hours)]
+    contexts = scenario.flow_contexts
+    print(f"soak: {n_shards} shards (process), {len(contexts)} flows, "
+          f"{warm_hours // 24} warm days + {live_hours} live hours at "
+          f"{hour_gap:.2f}s/hour "
+          f"(built in {time.perf_counter() - t_build:.1f}s)")
+
+    daemon = ServeDaemon(scenario.wan, DaemonConfig(
+        n_shards=n_shards, workers="process",
+        service=ServiceConfig(training_window_days=window_days))).start()
+    try:
+        for hour in range(warm_hours):
+            daemon.ingest_hour(hour, hourly[hour])
+        daemon.drain()
+        warm_swaps = daemon.status().total_swaps
+
+        def feed() -> None:
+            for hour in range(warm_hours, warm_hours + live_hours):
+                daemon.ingest_hour(hour, hourly[hour])
+                time.sleep(hour_gap)
+
+        feeder = threading.Thread(target=feed, name="soak-feed")
+        latencies: List[float] = []
+        flows_served = 0
+        batch_plan = _soak_batch_sizes(100_000, len(contexts), seed)
+        batch_index = 0
+        feeder.start()
+        t0 = time.perf_counter()
+        while feeder.is_alive():
+            start, size = batch_plan[batch_index % len(batch_plan)]
+            batch_index += 1
+            batch = [contexts[(start + j) % len(contexts)]
+                     for j in range(size)]
+            t_q = time.perf_counter()
+            daemon.predict_batch(batch)
+            latencies.append(time.perf_counter() - t_q)
+            flows_served += size
+        elapsed = time.perf_counter() - t0
+        feeder.join()
+        daemon.drain()
+        status = daemon.status()
+    finally:
+        daemon.shutdown(drain=False)
+
+    latencies.sort()
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+    report.record("soak_predictions_per_s", flows_served / elapsed)
+    report.record("soak_query_p50_per_s", 1.0 / p50)
+    report.record("soak_query_p99_per_s", 1.0 / p99)
+    live_swaps = status.total_swaps - warm_swaps
+    report.meta["soak_shards"] = str(n_shards)
+    report.meta["soak_batches"] = str(len(latencies))
+    report.meta["soak_live_hours"] = str(live_hours)
+    report.meta["soak_live_swaps"] = str(live_swaps)
+    report.meta["soak_max_staleness_hours"] = str(
+        status.max_staleness_hours)
+    print(f"  sustained serve:    {flows_served / elapsed:8.0f} flows/s "
+          f"({len(latencies)} batches over {elapsed:.1f}s)")
+    print(f"  query latency:      p50 {p50 * 1e3:.2f} ms, "
+          f"p99 {p99 * 1e3:.2f} ms "
+          f"({live_swaps} hot swaps during measurement)")
+
+
 def run_bench(
     profile: str = "full",
     seed: int = 1,
@@ -524,6 +652,9 @@ def run_bench(
     if suite in ("all", "bgp"):
         with obs.span("bench.bgp"):
             _bench_bgp(report, profile, seed, rounds)
+    if suite in ("all", "soak"):
+        with obs.span("bench.soak"):
+            _bench_soak(report, profile, seed)
     report.meta["obs"] = json.dumps(
         obs.snapshot().to_json(), sort_keys=True, separators=(",", ":"))
     if trace_out is not None:

@@ -1,0 +1,24 @@
+"""Long-running serving daemon with sharded, hot-swappable model state.
+
+The deployment form of :class:`~repro.core.service.TipsyService`
+(``docs/operations.md``): an hourly telemetry stream is sharded by
+feature-key hash across worker processes, each worker retrains its
+slice incrementally behind a double-buffered
+:class:`~repro.serve.shard.HotSwapShard`, and batched queries
+scatter-gather through :class:`~repro.serve.daemon.ServeDaemon` with
+answers bit-identical to the single-process service.  ``repro serve
+run`` drives it from the CLI; ``repro bench --suite soak`` measures it
+under sustained concurrent ingest.
+"""
+
+from .daemon import DaemonConfig, ServeDaemon, ShardError
+from .health import DaemonStatus, ShardHealth
+from .shard import HotSwapShard
+from .sharding import shard_of, split_indices, split_records
+
+__all__ = [
+    "DaemonConfig", "ServeDaemon", "ShardError",
+    "DaemonStatus", "ShardHealth",
+    "HotSwapShard",
+    "shard_of", "split_indices", "split_records",
+]

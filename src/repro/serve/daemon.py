@@ -1,0 +1,571 @@
+"""The serving daemon: sharded ingest, scatter-gather queries, lifecycle.
+
+:class:`ServeDaemon` is the long-running form of
+:class:`~repro.core.service.TipsyService` (ROADMAP item 1): an hourly
+telemetry stream goes in, sharded by feature-key hash
+(:mod:`repro.serve.sharding`) across workers that each hold one
+hot-swappable :class:`~repro.serve.shard.HotSwapShard`; batched
+``predict_batch``/``what_if`` queries scatter to the owning shards and
+gather back in the caller's order.  Two worker modes share every other
+code path:
+
+* ``process`` (the deployment shape) — one OS process per shard, talking
+  over a pipe (:mod:`repro.serve.worker`); per-shard retrains run in
+  parallel across cores and never touch the parent's query latency;
+* ``inline`` — shards live in the daemon process with one ingest thread
+  each; cheap to start, used by tests and available for tiny deployments.
+
+**Equivalence.**  A sharded prediction is bit-identical to the
+single-process service fed the same stream: every model grain keys on
+``src_asn``, so a shard's counts for its keys equal the unsharded
+service's counts for the same keys, and ``what_if`` re-runs the exact
+:func:`~repro.core.service.group_flows` /
+:func:`~repro.core.service.spill_from_groups` accumulation parent-side
+over shard-computed predictions (``tests/serve/test_equivalence.py``).
+
+**Lifecycle.**  ``checkpoint`` drains in-flight ingest, snapshots every
+shard into ``<dir>/shard-NN/`` (``docs/storage.md``), then commits a
+``serve.json`` manifest by atomic rename — a checkpoint without a
+manifest is invisible, so a crash mid-checkpoint leaves the previous
+one intact.  ``resume`` restores each shard from its segments and
+continues ingesting at ``last_hour + 1`` with bit-identical answers.
+``shutdown(drain=True)`` stops accepting work, drains queues, and joins
+the workers; see ``docs/operations.md`` for the runbook.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import queue
+import threading
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import (TYPE_CHECKING, AbstractSet, Dict, List, Optional,
+                    Sequence, Tuple, Union)
+
+from ..core.base import NO_LINKS, Prediction
+from ..core.features import FEATURES_A, FEATURES_AL, FEATURES_AP, FeatureSet
+from ..core.service import (ServiceConfig, group_flows, spill_from_groups)
+from ..obs import runtime as obs
+from ..pipeline.records import AggRecord, FlowContext
+from ..topology.wan import CloudWAN
+from .health import DaemonStatus, ShardHealth, export_status_gauges
+from .shard import HotSwapShard
+from .sharding import (SHARD_HASH_SEED, SHARD_LAYOUT_VERSION, split_indices,
+                       split_records)
+from .worker import shard_worker_main
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+
+#: checkpoint manifest file, committed last (atomic rename) so a
+#: checkpoint is either complete or invisible
+MANIFEST_NAME = "serve.json"
+
+#: withdrawal-model name -> the feature grain its group key projects to;
+#: the daemon groups what_if flows parent-side at this grain, exactly as
+#: the model's own group_key would
+_WITHDRAWAL_GRAINS: Dict[str, FeatureSet] = {
+    "Hist_AP": FEATURES_AP,
+    "Hist_AL": FEATURES_AL,
+    "Hist_A": FEATURES_A,
+    "Hist_AL+G": FEATURES_AL,
+}
+
+WORKER_MODES = ("process", "inline")
+
+
+class ShardError(RuntimeError):
+    """A shard worker reported an error (op failed or worker died)."""
+
+
+@dataclass
+class DaemonConfig:
+    """Shard layout, worker mode, and the per-shard service policy."""
+
+    n_shards: int = 4
+    workers: str = "process"
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.workers not in WORKER_MODES:
+            raise ValueError(
+                f"workers must be one of {WORKER_MODES}, got {self.workers!r}")
+
+
+# -- shard handles ------------------------------------------------------------
+
+
+class _InlineShard:
+    """A shard in this process: own ingest queue + thread, direct calls."""
+
+    def __init__(self, shard_id: int, wan: CloudWAN, config: ServiceConfig,
+                 restore_dir: Optional[str] = None):
+        if restore_dir is not None:
+            self.shard = HotSwapShard.restore(restore_dir, shard_id, wan)
+        else:
+            self.shard = HotSwapShard(shard_id, wan, config)
+        self.shard_id = shard_id
+        self._queue: "queue.Queue[Optional[Tuple[int, List[AggRecord]]]]" = (
+            queue.Queue())
+        self._errors: List[str] = []
+        self._pending: Optional[Tuple[str, object]] = None
+        self._thread = threading.Thread(
+            target=self._ingest_loop, name=f"serve-inline-{shard_id}",
+            daemon=True)
+        self._thread.start()
+
+    def _ingest_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is None:
+                    return
+                hour, records = item
+                try:
+                    self.shard.ingest_hour(hour, records)
+                except Exception as error:
+                    self._errors.append(
+                        f"shard {self.shard_id} hour {hour}: {error!r}")
+            finally:
+                self._queue.task_done()
+
+    def _drain(self) -> None:
+        self._queue.join()
+        if self._errors:
+            raise ShardError("; ".join(self._errors))
+
+    def ingest(self, hour: int, records: List[AggRecord]) -> None:
+        self._queue.put((hour, records))
+
+    def begin(self, op: str, *payload: object) -> None:
+        try:
+            if op == "predict":
+                contexts, k, unavailable = payload
+                result: object = self.shard.predict_batch(
+                    contexts, k, unavailable)  # type: ignore[arg-type]
+            elif op == "wpredict":
+                contexts, k, withdrawn = payload
+                result = self.shard.withdrawal_predictions(
+                    contexts, k, withdrawn)  # type: ignore[arg-type]
+            elif op == "drain":
+                self._drain()
+                result = self.shard.last_hour
+            elif op == "status":
+                result = (self.shard.health(
+                    ingest_queue_depth=self._queue.qsize()), None)
+            elif op == "checkpoint":
+                self._drain()
+                self.shard.snapshot(str(payload[0]))
+                result = None
+            else:  # pragma: no cover - daemon only sends known ops
+                raise ShardError(f"unknown op {op!r}")
+        except ShardError:
+            raise
+        except Exception as error:
+            raise ShardError(
+                f"shard {self.shard_id} {op}: {error!r}") from error
+        self._pending = (op, result)
+
+    def finish(self) -> object:
+        assert self._pending is not None, "finish() without begin()"
+        _op, result = self._pending
+        self._pending = None
+        return result
+
+    def stop(self, drain: bool) -> None:
+        if drain:
+            self._drain()
+        else:
+            while True:
+                try:
+                    self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                self._queue.task_done()
+        self._queue.put(None)
+        self._thread.join()
+
+
+class _ProcessShard:
+    """A shard in a worker process behind a duplex pipe."""
+
+    def __init__(self, shard_id: int, wan: CloudWAN, config: ServiceConfig,
+                 restore_dir: Optional[str] = None,
+                 obs_enabled: bool = False):
+        self.shard_id = shard_id
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
+        self._conn: "Connection" = parent_conn
+        # sends from the ingest path and the query path may come from
+        # different threads; one lock keeps pipe messages whole
+        self._send_lock = threading.Lock()
+        self.process = multiprocessing.Process(
+            target=shard_worker_main,
+            args=(child_conn, shard_id, wan, config, restore_dir,
+                  obs_enabled),
+            name=f"serve-shard-{shard_id:02d}",
+            daemon=True)
+        self.process.start()
+        child_conn.close()
+
+    def _send(self, message: Tuple[object, ...]) -> None:
+        with self._send_lock:
+            self._conn.send(message)
+
+    def ingest(self, hour: int, records: List[AggRecord]) -> None:
+        self._send(("ingest", hour, records))
+
+    def begin(self, op: str, *payload: object) -> None:
+        self._send((op,) + payload)
+
+    def finish(self) -> object:
+        try:
+            status, result = self._conn.recv()
+        except (EOFError, OSError) as error:
+            raise ShardError(
+                f"shard {self.shard_id} worker died: {error!r}") from error
+        if status != "ok":
+            raise ShardError(str(result))
+        return result
+
+    def stop(self, drain: bool) -> None:
+        try:
+            self.begin("stop", drain)
+            self.finish()
+        finally:
+            self.process.join(timeout=30)
+            if self.process.is_alive():  # pragma: no cover - safety net
+                self.process.terminate()
+                self.process.join(timeout=5)
+
+
+# -- the daemon ---------------------------------------------------------------
+
+
+class ServeDaemon:
+    """Long-running sharded prediction service (see module docstring)."""
+
+    def __init__(self, wan: CloudWAN, config: Optional[DaemonConfig] = None):
+        self.wan = wan
+        self.config = config or DaemonConfig()
+        self._handles: List[object] = []
+        # serializes scatter-gather conversations (queries, status,
+        # checkpoints) across caller threads; ingest does not take it,
+        # so feeding the stream never waits on a query and vice versa
+        self._query_lock = threading.Lock()
+        self._last_hour: Optional[int] = None
+        self._started = False
+        self._stopped = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self, resume_dir: Optional[Union[str, Path]] = None
+              ) -> "ServeDaemon":
+        """Spawn the shard workers, optionally restoring a checkpoint."""
+        if self._started:
+            raise RuntimeError("daemon already started")
+        shard_dirs: List[Optional[str]] = [None] * self.config.n_shards
+        if resume_dir is not None:
+            manifest = read_manifest(resume_dir)
+            if manifest["n_shards"] != self.config.n_shards:
+                raise ShardError(
+                    f"checkpoint has {manifest['n_shards']} shards, daemon "
+                    f"configured for {self.config.n_shards}; the shard "
+                    "layout is part of the checkpoint format")
+            shard_dirs = [str(Path(resume_dir) / f"shard-{i:02d}")
+                          for i in range(self.config.n_shards)]
+            last = manifest.get("last_hour")
+            self._last_hour = last if isinstance(last, int) else None
+        obs_enabled = obs.enabled()
+        for shard_id in range(self.config.n_shards):
+            if self.config.workers == "process":
+                handle: object = _ProcessShard(
+                    shard_id, self.wan, self.config.service,
+                    restore_dir=shard_dirs[shard_id],
+                    obs_enabled=obs_enabled)
+            else:
+                handle = _InlineShard(
+                    shard_id, self.wan, self.config.service,
+                    restore_dir=shard_dirs[shard_id])
+            self._handles.append(handle)
+        self._started = True
+        return self
+
+    @classmethod
+    def resume(cls, directory: Union[str, Path], wan: CloudWAN,
+               workers: str = "process") -> "ServeDaemon":
+        """Start a daemon from a checkpoint, adopting its shard layout."""
+        manifest = read_manifest(directory)
+        n_shards = manifest["n_shards"]
+        service = manifest["service"]
+        assert isinstance(n_shards, int) and isinstance(service, dict)
+        config = DaemonConfig(
+            n_shards=n_shards, workers=workers,
+            service=ServiceConfig(**service))
+        daemon = cls(wan, config)
+        return daemon.start(resume_dir=directory)
+
+    def __enter__(self) -> "ServeDaemon":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if not self._stopped:
+            self.shutdown(drain=not any(exc))
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the workers; ``drain`` finishes queued ingest first."""
+        if self._stopped:
+            return
+        self._stopped = True
+        failures: List[str] = []
+        with self._query_lock:
+            for handle in self._handles:
+                try:
+                    handle.stop(drain)  # type: ignore[attr-defined]
+                except ShardError as error:
+                    failures.append(str(error))
+        if failures:
+            raise ShardError("; ".join(failures))
+
+    # -- ingest ---------------------------------------------------------------
+
+    def ingest_hour(self, hour: int, records: Sequence[AggRecord]) -> None:
+        """Feed one hour of telemetry; returns without waiting.
+
+        Every shard receives its slice — including an empty one — so
+        day crossings (and with them retrains and window evictions)
+        happen at the same hours on every shard as they would in the
+        single-process service.
+        """
+        self._check_serving()
+        shards = split_records(records, self.config.n_shards)
+        for handle, shard_records in zip(self._handles, shards):
+            handle.ingest(hour, shard_records)  # type: ignore[attr-defined]
+        self._last_hour = hour
+        if obs.enabled():
+            obs.count("serve.ingest.hours")
+            obs.count("serve.ingest.records", float(len(records)))
+
+    def drain(self) -> None:
+        """Block until every queued hour is applied on every shard."""
+        self._check_serving()
+        with self._query_lock:
+            self._scatter_all("drain")
+
+    @property
+    def last_hour(self) -> Optional[int]:
+        """Newest hour handed to :meth:`ingest_hour` (or restored)."""
+        return self._last_hour
+
+    # -- queries --------------------------------------------------------------
+
+    def predict_batch(self, contexts: Sequence[FlowContext],
+                      k: Optional[int] = None,
+                      unavailable: AbstractSet[int] = NO_LINKS,
+                      ) -> List[List[Prediction]]:
+        """Top-k predictions for many flows, in the caller's order.
+
+        Scatter by owning shard, gather, reassemble — bit-identical to
+        :meth:`TipsyService.predict_batch` on the same trained stream.
+        """
+        self._check_serving()
+        prior = frozenset(unavailable)
+        indices = split_indices(contexts, self.config.n_shards)
+        out: List[Optional[List[Prediction]]] = [None] * len(contexts)
+        with obs.timed("serve.predict_batch"), self._query_lock:
+            busy = [(shard_id, shard_positions)
+                    for shard_id, shard_positions in enumerate(indices)
+                    if shard_positions]
+            for shard_id, shard_positions in busy:
+                self._handles[shard_id].begin(  # type: ignore[attr-defined]
+                    "predict",
+                    [contexts[i] for i in shard_positions], k, prior)
+            for shard_id, shard_positions in busy:
+                answers = self._handles[shard_id].finish()  # type: ignore[attr-defined]
+                for position, answer in zip(shard_positions, answers):  # type: ignore[call-overload]
+                    out[position] = answer
+        if obs.enabled():
+            obs.count("serve.predict.batches")
+            obs.count("serve.predict.flows", float(len(contexts)))
+        return [answer if answer is not None else [] for answer in out]
+
+    def what_if(
+        self,
+        flows: Sequence[Tuple[FlowContext, float]],
+        withdrawn: AbstractSet[int],
+        k: Optional[int] = None,
+    ) -> Dict[int, float]:
+        """Predicted per-link byte spill if ``withdrawn`` links go away.
+
+        Flows are grouped parent-side at the withdrawal model's feature
+        grain with the same :func:`group_flows` the single service uses,
+        each group's prediction comes from its owning shard, and the
+        spill accumulation re-runs :func:`spill_from_groups` over the
+        groups in their original order — so the result is bit-identical
+        to the unsharded ``what_if``, not merely close.
+        """
+        self._check_serving()
+        grain = _WITHDRAWAL_GRAINS.get(self.config.service.withdrawal_model)
+        if grain is None:
+            raise ShardError(
+                f"sharded what_if needs a withdrawal model with a known "
+                f"feature grain, got "
+                f"{self.config.service.withdrawal_model!r}")
+        with obs.timed("serve.what_if"):
+            _keys, group_contexts, group_bytes = group_flows(
+                lambda context: grain.key(context), flows)
+            if not group_contexts:
+                return {}
+            prior = frozenset(withdrawn)
+            indices = split_indices(group_contexts, self.config.n_shards)
+            answers: List[Optional[Tuple[Prediction, ...]]] = (
+                [None] * len(group_contexts))
+            with self._query_lock:
+                busy = [(shard_id, shard_positions)
+                        for shard_id, shard_positions in enumerate(indices)
+                        if shard_positions]
+                for shard_id, shard_positions in busy:
+                    self._handles[shard_id].begin(  # type: ignore[attr-defined]
+                        "wpredict",
+                        [group_contexts[i] for i in shard_positions],
+                        k, prior)
+                for shard_id, shard_positions in busy:
+                    got = self._handles[shard_id].finish()  # type: ignore[attr-defined]
+                    for position, answer in zip(shard_positions, got):  # type: ignore[call-overload]
+                        answers[position] = answer
+            groups = [(answer if answer is not None else (), bytes_)
+                      for answer, bytes_ in zip(answers, group_bytes)]
+            spill = spill_from_groups(groups)
+        if obs.enabled():
+            obs.count("serve.what_if.calls")
+            obs.count("serve.what_if.flows", float(len(flows)))
+        return spill
+
+    # -- health / status ------------------------------------------------------
+
+    def status(self) -> DaemonStatus:
+        """Gather per-shard health, merge worker metrics, export gauges."""
+        self._check_serving()
+        healths: List[ShardHealth] = []
+        with self._query_lock:
+            replies = self._scatter_all("status")
+        for reply in replies:
+            health, delta = reply  # type: ignore[misc]
+            healths.append(health)
+            if delta is not None and obs.enabled():
+                obs.registry().merge(delta)
+        status = DaemonStatus.from_shards(
+            tuple(healths), workers=self.config.workers)
+        export_status_gauges(status)
+        return status
+
+    @property
+    def ready(self) -> bool:
+        """Every shard has a trained window behind its live replica."""
+        return self.status().ready
+
+    # -- checkpoint -----------------------------------------------------------
+
+    def checkpoint(self, directory: Union[str, Path]) -> Path:
+        """Drain, snapshot every shard, then commit the manifest.
+
+        Returns the manifest path.  The manifest is written last and
+        renamed into place atomically: a reader (or a resume) either
+        sees the complete new checkpoint or none of it.
+        """
+        self._check_serving()
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        with obs.timed("serve.checkpoint"), self._query_lock:
+            self._scatter_all("drain")
+            busy = [(shard_id, str(root / f"shard-{shard_id:02d}"))
+                    for shard_id in range(self.config.n_shards)]
+            for shard_id, shard_dir in busy:
+                self._handles[shard_id].begin(  # type: ignore[attr-defined]
+                    "checkpoint", shard_dir)
+            for shard_id, _shard_dir in busy:
+                self._handles[shard_id].finish()  # type: ignore[attr-defined]
+            manifest_path = write_manifest(
+                root, n_shards=self.config.n_shards,
+                service=self.config.service, last_hour=self._last_hour)
+        if obs.enabled():
+            obs.count("serve.checkpoints")
+        return manifest_path
+
+    # -- internals ------------------------------------------------------------
+
+    def _check_serving(self) -> None:
+        if not self._started:
+            raise RuntimeError("daemon not started (call start())")
+        if self._stopped:
+            raise RuntimeError("daemon already shut down")
+
+    def _scatter_all(self, op: str, *payload: object) -> List[object]:
+        """Send one op to every shard, gather replies in shard order.
+
+        Caller must hold ``_query_lock``.
+        """
+        for handle in self._handles:
+            handle.begin(op, *payload)  # type: ignore[attr-defined]
+        return [handle.finish()  # type: ignore[attr-defined]
+                for handle in self._handles]
+
+
+# -- checkpoint manifest ------------------------------------------------------
+
+
+def write_manifest(directory: Union[str, Path], n_shards: int,
+                   service: ServiceConfig,
+                   last_hour: Optional[int]) -> Path:
+    """Atomically commit a checkpoint manifest (write tmp, rename)."""
+    root = Path(directory)
+    payload = {
+        "layout_version": SHARD_LAYOUT_VERSION,
+        "hash_seed": SHARD_HASH_SEED,
+        "n_shards": n_shards,
+        "last_hour": last_hour,
+        "service": asdict(service),
+    }
+    path = root / MANIFEST_NAME
+    tmp = root / (MANIFEST_NAME + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_manifest(directory: Union[str, Path]) -> Dict[str, object]:
+    """Load and validate a checkpoint manifest.
+
+    Raises :class:`ShardError` when the manifest is absent, unreadable,
+    or written under a different shard layout — resuming under a
+    mismatched layout would silently misroute keys.
+    """
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ShardError(
+            f"{directory}: no serve checkpoint manifest ({error})") from None
+    except ValueError as error:
+        raise ShardError(
+            f"{path}: unreadable manifest ({error})") from None
+    if (payload.get("layout_version") != SHARD_LAYOUT_VERSION
+            or payload.get("hash_seed") != SHARD_HASH_SEED):
+        raise ShardError(
+            f"{path}: checkpoint written under a different shard layout "
+            f"(version {payload.get('layout_version')!r}); cannot resume")
+    if not isinstance(payload.get("n_shards"), int):
+        raise ShardError(f"{path}: manifest missing n_shards")
+    if not isinstance(payload.get("service"), dict):
+        raise ShardError(f"{path}: manifest missing service config")
+    return payload

@@ -1,0 +1,66 @@
+"""Deterministic feature-key sharding for the serving daemon.
+
+Every TIPSY feature grain (A, AL, AP — and therefore the geographic
+completion and the sequential ensembles built from them) keys on the
+flow's source AS, so hashing ``src_asn`` places *all* of a flow's model
+state on one shard: the counts a shard accumulates are exactly the
+counts the single-process service would consult for the same flow, and
+a sharded prediction is bit-identical to an unsharded one.
+
+The hash is :func:`repro.util.hashing.mix64` — stable across processes,
+runs and platforms (Python's builtin ``hash`` is salted per process and
+must never decide shard placement).  The seed and layout version are
+part of the checkpoint format: a daemon can only resume a checkpoint
+written under the same layout, so neither constant may change without
+bumping :data:`SHARD_LAYOUT_VERSION`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..pipeline.records import AggRecord, FlowContext
+from ..util.hashing import mix64
+
+#: fixed hash seed — part of the checkpoint format, never change casually
+SHARD_HASH_SEED = 0xB10C5EED
+
+#: bump on any change to the shard-placement function or its seed
+SHARD_LAYOUT_VERSION = 1
+
+
+def shard_of(src_asn: int, n_shards: int) -> int:
+    """The shard index owning all model state keyed by ``src_asn``."""
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if n_shards == 1:
+        return 0
+    return mix64(src_asn, seed=SHARD_HASH_SEED) % n_shards
+
+
+def split_records(records: Sequence[AggRecord],
+                  n_shards: int) -> List[List[AggRecord]]:
+    """Partition one hour's records by owning shard, order-preserving.
+
+    Every shard gets a list (possibly empty) so each worker still sees
+    every hour — day crossings, and therefore retrains and window
+    evictions, stay aligned with the single-process service.
+    """
+    shards: List[List[AggRecord]] = [[] for _ in range(n_shards)]
+    for record in records:
+        shards[shard_of(record.src_asn, n_shards)].append(record)
+    return shards
+
+
+def split_indices(contexts: Sequence[FlowContext],
+                  n_shards: int) -> List[List[int]]:
+    """Positions of each shard's contexts, order-preserving per shard.
+
+    The scatter half of a batched query: the gather half reassembles
+    answers into the original positions, so a sharded batch returns in
+    exactly the caller's order.
+    """
+    indices: List[List[int]] = [[] for _ in range(n_shards)]
+    for position, context in enumerate(contexts):
+        indices[shard_of(context.src_asn, n_shards)].append(position)
+    return indices

@@ -1,0 +1,173 @@
+"""Shard worker process: ingest thread + query loop over a pipe.
+
+Each worker owns one :class:`~repro.serve.shard.HotSwapShard` and talks
+to the daemon parent over a duplex :mod:`multiprocessing` connection.
+The message protocol is small tuples, first element the op:
+
+========== ============================== ==============================
+op         payload                        reply
+========== ============================== ==============================
+ingest     (hour, records)                *none* — enqueued, fire-and-forget
+predict    (contexts, k, unavailable)     ("ok", [[Prediction, ...], ...])
+wpredict   (contexts, k, withdrawn)       ("ok", [(Prediction, ...), ...])
+drain      ()                             ("ok", last_hour) once queue empty
+status     ()                             ("ok", (ShardHealth, obs delta))
+checkpoint (directory,)                   ("ok", None) after snapshot
+stop       (drain,)                       ("ok", last_hour); worker exits
+========== ============================== ==============================
+
+Ingest is decoupled from the query loop by an internal queue and a
+dedicated ingest thread: a day-boundary retrain runs on that thread
+against the shard's offline replica, so the loop keeps answering
+``predict`` from the live replica throughout — the worker-level half of
+the never-block-on-retrain guarantee (the shard's double buffer is the
+state-level half).
+
+Errors inside an op come back as ``("error", message)`` and raise
+:class:`~repro.serve.daemon.ShardError` in the parent; an ingest-thread
+error is deferred to the next ``drain``/``stop`` reply (ingest itself
+has no reply to carry it).
+
+Observability: when the parent runs instrumented, each worker enables a
+fresh registry (a forked child inherits the parent's copy-on-write and
+must not double-report it) and every ``status`` reply ships the metrics
+delta since the previous one for the parent to merge — the same
+snapshot-delta discipline as :mod:`repro.perf.parallel`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..core.service import ServiceConfig
+from ..obs import runtime as obs
+from ..obs.metrics import MetricsSnapshot
+from ..pipeline.records import AggRecord
+from ..topology.wan import CloudWAN
+from .shard import HotSwapShard
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+
+
+def _obs_delta(previous: Optional[MetricsSnapshot]
+               ) -> Tuple[Optional[MetricsSnapshot],
+                          Optional[MetricsSnapshot]]:
+    """(delta since ``previous``, new cumulative snapshot)."""
+    if not obs.enabled():
+        return None, previous
+    current = obs.snapshot()
+    if previous is None:
+        return current, current
+    return current.diff(previous), current
+
+
+def shard_worker_main(conn: "Connection", shard_id: int, wan: CloudWAN,
+                      config: ServiceConfig,
+                      restore_dir: Optional[str] = None,
+                      obs_enabled: bool = False) -> None:
+    """Run one shard worker until a ``stop`` message arrives."""
+    if obs_enabled:
+        obs.enable(fresh=True)
+    if restore_dir is not None:
+        shard = HotSwapShard.restore(restore_dir, shard_id, wan)
+    else:
+        shard = HotSwapShard(shard_id, wan, config)
+
+    ingest_queue: "queue.Queue[Optional[Tuple[int, List[AggRecord]]]]" = (
+        queue.Queue())
+    ingest_errors: List[str] = []
+
+    def ingest_loop() -> None:
+        while True:
+            item = ingest_queue.get()
+            try:
+                if item is None:
+                    return
+                hour, records = item
+                try:
+                    shard.ingest_hour(hour, records)
+                except Exception as error:  # surfaced at the next drain
+                    ingest_errors.append(
+                        f"shard {shard_id} hour {hour}: {error!r}")
+            finally:
+                ingest_queue.task_done()
+
+    ingest_thread = threading.Thread(
+        target=ingest_loop, name=f"serve-ingest-{shard_id}", daemon=True)
+    ingest_thread.start()
+    last_shipped: Optional[MetricsSnapshot] = None
+
+    def drain() -> Optional[str]:
+        ingest_queue.join()
+        if ingest_errors:
+            return "; ".join(ingest_errors)
+        return None
+
+    try:
+        while True:
+            message = conn.recv()
+            op = message[0]
+            if op == "ingest":
+                ingest_queue.put((message[1], message[2]))
+                continue
+            try:
+                if op == "predict":
+                    contexts, k, unavailable = message[1:]
+                    conn.send(("ok", shard.predict_batch(
+                        contexts, k, unavailable)))
+                elif op == "wpredict":
+                    contexts, k, withdrawn = message[1:]
+                    conn.send(("ok", shard.withdrawal_predictions(
+                        contexts, k, withdrawn)))
+                elif op == "drain":
+                    failure = drain()
+                    if failure is not None:
+                        conn.send(("error", failure))
+                    else:
+                        conn.send(("ok", shard.last_hour))
+                elif op == "status":
+                    delta, last_shipped = _obs_delta(last_shipped)
+                    health = shard.health(
+                        ingest_queue_depth=ingest_queue.qsize())
+                    conn.send(("ok", (health, delta)))
+                elif op == "checkpoint":
+                    failure = drain()
+                    if failure is not None:
+                        conn.send(("error", failure))
+                    else:
+                        shard.snapshot(message[1])
+                        conn.send(("ok", None))
+                elif op == "stop":
+                    if message[1]:
+                        failure = drain()
+                    else:
+                        # abortive stop: discard queued hours (the last
+                        # checkpoint, not the queue, is the recovery
+                        # source) so the sentinel preempts them
+                        failure = None
+                        while True:
+                            try:
+                                ingest_queue.get_nowait()
+                            except queue.Empty:
+                                break
+                            ingest_queue.task_done()
+                    ingest_queue.put(None)
+                    ingest_thread.join()
+                    if failure is not None:
+                        conn.send(("error", failure))
+                    else:
+                        conn.send(("ok", shard.last_hour))
+                    return
+                else:
+                    conn.send(("error", f"unknown op {op!r}"))
+            except Exception as error:
+                conn.send(("error", f"shard {shard_id} {op}: {error!r}"))
+    except EOFError:
+        # parent went away without a stop: exit quietly, nothing to
+        # reply to (the checkpointed state on disk is the recovery path)
+        return
+    finally:
+        conn.close()

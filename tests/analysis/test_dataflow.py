@@ -43,7 +43,7 @@ def test_repo_determinism_table_loads():
     assert config is not None
     assert set(config.contracts) == {
         "parallel-pipeline", "incremental-serving", "snapshot-restore",
-        "bgp-equivalence"}
+        "bgp-equivalence", "sharded-serving"}
     assert config.exempt == ("repro.obs",)
     assert config.is_exempt("repro.obs.metrics")
     assert not config.is_exempt("repro.observatory")

@@ -1,0 +1,138 @@
+"""Daemon lifecycle: drain, checkpoint, restart-from-snapshot recovery."""
+
+import json
+
+import pytest
+
+from repro.core.service import ServiceConfig
+from repro.serve import DaemonConfig, ServeDaemon, ShardError
+from repro.serve.daemon import MANIFEST_NAME, read_manifest
+
+from .conftest import HOURS
+
+
+def _daemon(serve_world, workers="inline", n_shards=3):
+    return ServeDaemon(serve_world.scenario.wan, DaemonConfig(
+        n_shards=n_shards, workers=workers,
+        service=serve_world.config)).start()
+
+
+class TestDrain:
+    def test_shutdown_drains_in_flight_ingest(self, serve_world, tmp_path):
+        """Hours queued but not yet applied are finished, not dropped.
+
+        Ingest is fire-and-forget, so at shutdown time the queues can
+        still hold work.  A draining shutdown must apply all of it: the
+        state checkpointed just before equals the fully-ingested
+        reference.
+        """
+        daemon = _daemon(serve_world)
+        for hour, records in enumerate(serve_world.hourly):
+            daemon.ingest_hour(hour, records)  # no drain in between
+        daemon.checkpoint(tmp_path)  # drains, then snapshots
+        daemon.shutdown(drain=True)
+
+        resumed = ServeDaemon.resume(tmp_path, serve_world.scenario.wan,
+                                     workers="inline")
+        try:
+            contexts = serve_world.contexts[:200]
+            assert (resumed.predict_batch(contexts)
+                    == serve_world.reference.predict_batch(contexts))
+        finally:
+            resumed.shutdown()
+
+    def test_drain_blocks_until_queues_empty(self, serve_world):
+        daemon = _daemon(serve_world)
+        try:
+            for hour in range(30):
+                daemon.ingest_hour(hour, serve_world.hourly[hour])
+            daemon.drain()
+            status = daemon.status()
+            assert status.ingest_backlog == 0
+            assert status.last_hour == 29
+        finally:
+            daemon.shutdown()
+
+
+class TestRestartRecovery:
+    @pytest.mark.parametrize("workers", ["inline", "process"])
+    def test_resume_is_bit_identical_to_uninterrupted(
+            self, serve_world, tmp_path, workers):
+        """Kill mid-stream, resume, finish: same answers as never dying."""
+        cut = 60  # mid-day, mid-window: the awkward restart point
+        first = _daemon(serve_world, workers=workers)
+        for hour in range(cut):
+            first.ingest_hour(hour, serve_world.hourly[hour])
+        first.checkpoint(tmp_path)
+        first.shutdown(drain=True)
+
+        resumed = ServeDaemon.resume(tmp_path, serve_world.scenario.wan,
+                                     workers=workers)
+        try:
+            assert resumed.last_hour == cut - 1
+            for hour in range(cut, HOURS):
+                resumed.ingest_hour(hour, serve_world.hourly[hour])
+            resumed.drain()
+            contexts = serve_world.contexts[:300]
+            assert (resumed.predict_batch(contexts)
+                    == serve_world.reference.predict_batch(contexts))
+        finally:
+            resumed.shutdown()
+
+    def test_checkpoint_manifest_is_complete(self, serve_world, tmp_path):
+        daemon = _daemon(serve_world, n_shards=2)
+        try:
+            for hour in range(26):
+                daemon.ingest_hour(hour, serve_world.hourly[hour])
+            manifest_path = daemon.checkpoint(tmp_path)
+        finally:
+            daemon.shutdown()
+        assert manifest_path == tmp_path / MANIFEST_NAME
+        manifest = read_manifest(tmp_path)
+        assert manifest["n_shards"] == 2
+        assert manifest["last_hour"] == 25
+        assert (tmp_path / "shard-00").is_dir()
+        assert (tmp_path / "shard-01").is_dir()
+
+
+class TestManifestValidation:
+    def test_resume_without_checkpoint_fails(self, serve_world, tmp_path):
+        with pytest.raises(ShardError, match="manifest"):
+            ServeDaemon.resume(tmp_path, serve_world.scenario.wan,
+                               workers="inline")
+
+    def test_resume_under_wrong_shard_count_fails(self, serve_world,
+                                                  tmp_path):
+        daemon = _daemon(serve_world, n_shards=2)
+        try:
+            daemon.ingest_hour(0, serve_world.hourly[0])
+            daemon.checkpoint(tmp_path)
+        finally:
+            daemon.shutdown()
+        other = ServeDaemon(serve_world.scenario.wan, DaemonConfig(
+            n_shards=3, workers="inline", service=serve_world.config))
+        with pytest.raises(ShardError, match="shards"):
+            other.start(resume_dir=tmp_path)
+
+    def test_resume_under_wrong_layout_version_fails(self, serve_world,
+                                                     tmp_path):
+        daemon = _daemon(serve_world, n_shards=2)
+        try:
+            daemon.ingest_hour(0, serve_world.hourly[0])
+            daemon.checkpoint(tmp_path)
+        finally:
+            daemon.shutdown()
+        manifest_path = tmp_path / MANIFEST_NAME
+        payload = json.loads(manifest_path.read_text())
+        payload["layout_version"] = 999
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(ShardError, match="layout"):
+            ServeDaemon.resume(tmp_path, serve_world.scenario.wan,
+                               workers="inline")
+
+    def test_config_rejects_bad_shapes(self, serve_world):
+        with pytest.raises(ValueError):
+            DaemonConfig(n_shards=0)
+        with pytest.raises(ValueError):
+            DaemonConfig(workers="fibers")
+        assert DaemonConfig(service=ServiceConfig()).n_shards == 4

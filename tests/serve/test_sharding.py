@@ -1,0 +1,74 @@
+"""Shard placement: deterministic, total, and order-preserving."""
+
+import pytest
+
+from repro.serve.sharding import (SHARD_HASH_SEED, shard_of, split_indices,
+                                  split_records)
+from repro.util.hashing import mix64
+
+
+class TestShardOf:
+    def test_deterministic_and_in_range(self):
+        for asn in range(1, 2000, 37):
+            shard = shard_of(asn, 8)
+            assert shard == shard_of(asn, 8)
+            assert 0 <= shard < 8
+
+    def test_matches_published_hash(self):
+        # the placement function is checkpoint format: pin it to mix64
+        # with the published seed so it cannot drift silently
+        assert shard_of(64500, 16) == mix64(
+            64500, seed=SHARD_HASH_SEED) % 16
+
+    def test_single_shard_owns_everything(self):
+        assert all(shard_of(asn, 1) == 0 for asn in (1, 7, 64500))
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ValueError):
+            shard_of(64500, 0)
+
+    def test_spreads_across_shards(self):
+        owners = {shard_of(asn, 4) for asn in range(1, 500)}
+        assert owners == {0, 1, 2, 3}
+
+
+class TestSplitRecords:
+    def test_every_shard_gets_a_list(self, serve_world):
+        shards = split_records(serve_world.hourly[12], 5)
+        assert len(shards) == 5  # empty lists included: hours align
+
+    def test_partition_is_total_and_order_preserving(self, serve_world):
+        records = serve_world.hourly[12]
+        shards = split_records(records, 4)
+        assert sum(len(s) for s in shards) == len(records)
+        for shard_id, shard_records in enumerate(shards):
+            assert all(shard_of(r.src_asn, 4) == shard_id
+                       for r in shard_records)
+            positions = [records.index(r) for r in shard_records]
+            assert positions == sorted(positions)
+
+
+class TestSplitIndices:
+    def test_round_trips_the_batch(self, serve_world):
+        contexts = serve_world.contexts[:200]
+        indices = split_indices(contexts, 4)
+        scattered = sorted(i for shard in indices for i in shard)
+        assert scattered == list(range(len(contexts)))
+        for shard_id, positions in enumerate(indices):
+            assert positions == sorted(positions)
+            assert all(shard_of(contexts[i].src_asn, 4) == shard_id
+                       for i in positions)
+
+    def test_record_and_context_placement_agree(self, serve_world):
+        # a flow's training records and its queries land on the same
+        # shard — the heart of the equivalence argument
+        context_shards = {c.src_asn: shard_of(c.src_asn, 4)
+                          for c in serve_world.contexts}
+        for record in serve_world.hourly[12]:
+            if record.src_asn in context_shards:
+                assert (shard_of(record.src_asn, 4)
+                        == context_shards[record.src_asn])
+
+    def test_single_shard_degenerates_to_unsharded(self, serve_world):
+        contexts = serve_world.contexts[:50]
+        assert split_indices(contexts, 1) == [list(range(len(contexts)))]

@@ -26,7 +26,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: package is ratcheted now; new packages start (and stay) here.
 STRICT_PACKAGES = ("util", "topology", "bgp", "pipeline", "perf",
                    "analysis", "core", "obs", "cms", "telemetry",
-                   "traffic", "store", "experiments")
+                   "traffic", "store", "experiments", "serve")
 
 #: typing names that are meaningless without parameters
 GENERIC_NAMES = frozenset({
