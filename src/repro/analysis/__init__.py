@@ -7,13 +7,19 @@ symbols across process-pool boundaries, no wall-clock reads on the
 hot path, no mutable default arguments.  ``repro lint --project``
 (see :mod:`repro.analysis.project`) adds whole-program rules on top:
 a call-graph race detector (RA501), a lock-discipline checker
-(RA502), the architecture-layer contract (RA601), and the
+(RA502), the architecture-layer contract (RA601), the
 determinism/numeric-safety dataflow rules RA700–RA704 (see
 :mod:`repro.analysis.dataflow`) driven by the
-``[tool.repro.determinism]`` contract table, with per-file results
-cached incrementally by content hash.  ``repro lint --fix`` applies
-the safe RA7xx rewrites (see :mod:`repro.analysis.fixer`).  Rules are
-documented in ``docs/static-analysis.md`` and suppressed inline with
+``[tool.repro.determinism]`` contract table, and the
+concurrency-lifecycle & durability wave RA800–RA805 (see
+:mod:`repro.analysis.lifecycle` and
+:mod:`repro.analysis.durability`) — lock-order deadlocks, blocking
+calls under a lock, leaked threads/processes, and durable artifacts
+(``[tool.repro.durability]``) written without tmp+fsync+rename — with
+per-file results cached incrementally by content hash.  ``repro lint
+--fix`` applies the safe RA7xx rewrites (see
+:mod:`repro.analysis.fixer`).  Rules are documented in
+``docs/static-analysis.md`` and suppressed inline with
 ``# repro: noqa[RAxxx]``.
 """
 
@@ -25,8 +31,12 @@ from .base import (DEFAULT_HOT_PACKAGES, FIXABLE_RULES, LINT_VERSION,
 from .dataflow import (DeterminismConfig, DeterminismConfigError,
                        DetSite, check_determinism, extract_det_sites,
                        find_determinism_config, read_determinism_table)
+from .durability import (DurabilityConfig, DurabilityConfigError,
+                         DuraSite, check_durability, extract_dura_sites,
+                         find_durability_config, read_durability_table)
 from .engine import (AnalysisReport, analyze_paths, analyze_source,
                      iter_python_files)
+from .lifecycle import LifeSite, check_lifecycle, extract_life_sites
 from .fixer import Fix, apply_fixes, fix_for_site, render_diffs
 from .project import analyze_project
 
@@ -51,6 +61,16 @@ __all__ = [
     "extract_det_sites",
     "find_determinism_config",
     "read_determinism_table",
+    "DurabilityConfig",
+    "DurabilityConfigError",
+    "DuraSite",
+    "check_durability",
+    "extract_dura_sites",
+    "find_durability_config",
+    "read_durability_table",
+    "LifeSite",
+    "check_lifecycle",
+    "extract_life_sites",
     "AnalysisReport",
     "analyze_paths",
     "analyze_source",

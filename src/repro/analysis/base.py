@@ -70,6 +70,26 @@ RULES: Dict[str, Tuple[str, str]] = {
     "RA704": ("ambient-nondeterminism",
               "ambient input (wall clock, environment, unseeded RNG, "
               "object identity) read on a determinism-contract path"),
+    "RA800": ("durability-config",
+              "a [tool.repro.durability] pattern cannot match, or a "
+              "file is governed by a different durability table than "
+              "the one this run resolved"),
+    "RA801": ("lock-order-deadlock",
+              "two locks are acquired in opposite orders on different "
+              "paths (cycle in the acquired-while-holding graph)"),
+    "RA802": ("blocking-under-lock",
+              "unbounded blocking call (join/recv/get/wait/sleep/file "
+              "IO) executed while a lock is held"),
+    "RA803": ("thread-lifecycle",
+              "Thread/Process started but never reaped, or a bare "
+              "join() without timeout= on a shutdown path"),
+    "RA804": ("durability-protocol",
+              "tracked durable artifact written without the "
+              "tmp+fsync+rename protocol, or committed after its "
+              "manifest"),
+    "RA805": ("unclosed-resource",
+              "open/NamedTemporaryFile/Pipe result never closed and "
+              "never handed off (report-only)"),
 }
 
 #: rules that need whole-program context: they only run under
@@ -77,6 +97,7 @@ RULES: Dict[str, Tuple[str, str]] = {
 PROJECT_RULES: FrozenSet[str] = frozenset({
     "RA501", "RA502", "RA601",
     "RA700", "RA701", "RA702", "RA703", "RA704",
+    "RA800", "RA801", "RA802", "RA803", "RA804", "RA805",
 })
 
 #: RA7xx rules with an autofix: ``repro lint --fix`` can rewrite these

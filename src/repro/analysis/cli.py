@@ -43,7 +43,9 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--project", action="store_true",
         help="whole-program mode: adds the cross-module rules "
-             "RA501/RA502/RA601 and uses the incremental cache")
+             "RA501/RA502/RA601, the RA7xx determinism dataflow, and "
+             "the RA8xx lifecycle/durability wave, with the "
+             "incremental cache")
     parser.add_argument(
         "--changed-only", action="store_true",
         help="report only on files changed vs. the git merge-base "

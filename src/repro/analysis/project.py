@@ -38,10 +38,13 @@ from .callgraph import ModuleFacts, ProjectGraph, extract_facts, \
     module_name_for
 from .dataflow import DetSite, DeterminismConfig, check_determinism, \
     extract_det_sites, find_determinism_config
+from .durability import DuraSite, DurabilityConfig, check_durability, \
+    extract_dura_sites, find_durability_config
 from .engine import AnalysisReport, analyze_parsed, display_for, \
     iter_python_files
 from .fixer import fix_for_site
 from .layers import LayerConfig, check_layers, find_layer_config
+from .lifecycle import LifeSite, check_lifecycle, extract_life_sites
 from .locks import LockFinding, find_lock_findings, \
     violations_from_findings
 from .races import check_races
@@ -49,7 +52,8 @@ from .races import check_races
 #: bump when the facts schema or any project rule's extraction changes;
 #: stale entries are simply misses (their keys never match again).
 #: v2: determinism sites (RA7xx) joined the per-file payload.
-CACHE_SCHEMA_VERSION = 2
+#: v3: lifecycle and durability sites (RA8xx) joined the payload.
+CACHE_SCHEMA_VERSION = 3
 
 #: default cache location, relative to the current working directory
 DEFAULT_CACHE_DIR = Path(".repro-lint-cache")
@@ -63,6 +67,8 @@ class _FileAnalysis:
     violations: List[Violation]             # per-file rules (post-noqa)
     lock_findings: List[LockFinding]
     det_sites: List[DetSite]                # raw RA7xx sites (pre-noqa)
+    life_sites: List[LifeSite]              # raw RA801/802/803/805 sites
+    dura_sites: List[DuraSite]              # raw RA804 sites
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -74,6 +80,8 @@ class _FileAnalysis:
                            for v in self.violations],
             "lock_findings": [f.to_json() for f in self.lock_findings],
             "det_sites": [s.to_json() for s in self.det_sites],
+            "life_sites": [s.to_json() for s in self.life_sites],
+            "dura_sites": [s.to_json() for s in self.dura_sites],
         }
 
     @classmethod
@@ -92,8 +100,13 @@ class _FileAnalysis:
                          for f in raw.get("lock_findings", ())]  # type: ignore[union-attr]
         det_sites = [DetSite.from_json(s)
                      for s in raw.get("det_sites", ())]  # type: ignore[union-attr]
+        life_sites = [LifeSite.from_json(s)
+                      for s in raw.get("life_sites", ())]  # type: ignore[union-attr]
+        dura_sites = [DuraSite.from_json(s)
+                      for s in raw.get("dura_sites", ())]  # type: ignore[union-attr]
         return cls(facts=facts, violations=violations,
-                   lock_findings=lock_findings, det_sites=det_sites)
+                   lock_findings=lock_findings, det_sites=det_sites,
+                   life_sites=life_sites, dura_sites=dura_sites)
 
 
 class ProjectCache:
@@ -161,7 +174,8 @@ def _analyze_file(file_path: Path, source: str, display: str,
                 path=display, line=exc.lineno or 1,
                 col=(exc.offset or 0) + 1, code="RA000",
                 message=f"syntax error: {exc.msg}")],
-            lock_findings=[], det_sites=[])
+            lock_findings=[], det_sites=[], life_sites=[],
+            dura_sites=[])
     violations = analyze_parsed(source, file_path, tree,
                                 hot_packages=hot_packages,
                                 display_path=display)
@@ -169,7 +183,9 @@ def _analyze_file(file_path: Path, source: str, display: str,
                           internal_roots)
     return _FileAnalysis(facts=facts, violations=violations,
                          lock_findings=find_lock_findings(tree),
-                         det_sites=extract_det_sites(tree))
+                         det_sites=extract_det_sites(tree),
+                         life_sites=extract_life_sites(tree),
+                         dura_sites=extract_dura_sites(tree))
 
 
 def _determinism_scope_warnings(
@@ -210,23 +226,63 @@ def _determinism_scope_warnings(
     return warnings
 
 
+def _durability_scope_warnings(
+        files: Sequence[Tuple[Path, str]],
+        config: DurabilityConfig) -> List[Violation]:
+    """RA800 when one run spans pyprojects with different artifact tables.
+
+    Mirrors :func:`_determinism_scope_warnings`: the durability table
+    is resolved once from the first analyzed path, and each distinct
+    foreign root draws one warning rather than being silently checked
+    against the wrong artifact patterns.
+    """
+    warnings: List[Violation] = []
+    source_by_dir: Dict[Path, Optional[str]] = {}
+    flagged: Set[str] = set()
+    for path, display in files:
+        directory = path.resolve().parent
+        if directory not in source_by_dir:
+            found = find_durability_config(directory)
+            source_by_dir[directory] = (None if found is None
+                                        else found.source)
+        source = source_by_dir[directory]
+        if source == config.source:
+            continue
+        label = source or "<no durability table>"
+        if label in flagged:
+            continue
+        flagged.add(label)
+        warnings.append(Violation(
+            path=display, line=1, col=1, code="RA800",
+            message=(f"file is governed by {label}, but this run "
+                     f"applied the artifact patterns from "
+                     f"{config.source} (resolved from the first "
+                     "analyzed path); lint each root separately or "
+                     "pass one explicit config")))
+    return warnings
+
+
 def analyze_project(paths: Sequence[Path],
                     hot_packages: FrozenSet[str] = DEFAULT_HOT_PACKAGES,
                     select: Optional[FrozenSet[str]] = None,
                     root: Optional[Path] = None,
                     cache_dir: Optional[Path] = DEFAULT_CACHE_DIR,
                     layer_config: Optional[LayerConfig] = None,
-                    determinism: Optional[DeterminismConfig] = None
+                    determinism: Optional[DeterminismConfig] = None,
+                    durability: Optional[DurabilityConfig] = None
                     ) -> AnalysisReport:
-    """Whole-program lint: per-file rules plus RA5xx/RA6xx/RA7xx.
+    """Whole-program lint: per-file rules plus RA5xx through RA8xx.
 
     ``layer_config`` defaults to the nearest ``[tool.repro.layers]``
     table above the first analyzed path; without one, RA601 is skipped
     (there is no contract to enforce).  ``determinism`` defaults the
     same way to the nearest ``[tool.repro.determinism]`` table and
-    gates the RA700–RA704 dataflow rules; when the analyzed paths span
-    pyprojects with *different* tables, the first root's table applies
-    and every foreign root draws an RA700 warning.
+    gates the RA700–RA704 dataflow rules; ``durability`` likewise
+    defaults to the nearest ``[tool.repro.durability]`` table and
+    gates RA804.  When the analyzed paths span pyprojects with
+    *different* tables, the first root's table applies and every
+    foreign root draws an RA700/RA800 warning.  The lifecycle rules
+    RA801/RA802/RA803/RA805 need no configuration and always run.
     """
     files: List[Tuple[Path, str]] = []   # (path, display)
     for file_path in iter_python_files(paths):
@@ -280,6 +336,13 @@ def analyze_project(paths: Sequence[Path],
     graph = ProjectGraph.link(modules)
     violations.extend(check_races(graph))
 
+    life_by_module: Dict[str, List[LifeSite]] = {}
+    for entry in analyses:
+        if entry.facts is not None:
+            life_by_module.setdefault(
+                entry.facts.module, []).extend(entry.life_sites)
+    violations.extend(check_lifecycle(graph, life_by_module))
+
     if layer_config is None and files:
         layer_config = find_layer_config(files[0][0])
     if layer_config is not None:
@@ -310,6 +373,20 @@ def analyze_project(paths: Sequence[Path],
             fix = fix_for_site(real, display, site)
             if fix is not None:
                 report.fixes.append(fix)
+
+    if durability is None and files:
+        durability = find_durability_config(files[0][0])
+        if durability is not None:
+            violations.extend(
+                _durability_scope_warnings(files, durability))
+    if durability is not None:
+        dura_by_module: Dict[str, List[DuraSite]] = {}
+        for entry in analyses:
+            if entry.facts is not None:
+                dura_by_module.setdefault(
+                    entry.facts.module, []).extend(entry.dura_sites)
+        violations.extend(
+            check_durability(graph, dura_by_module, durability))
 
     if select is not None:
         violations = [v for v in violations if v.code in select]

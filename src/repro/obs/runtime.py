@@ -49,9 +49,14 @@ def enable(clock: Optional[Callable[[], float]] = None,
     copy-on-write and must not double-report it).
     """
     global _ENABLED, _REGISTRY, _TRACER
-    # RA501: these globals are per-process by design — a pool worker
-    # calling enable(fresh=True) *wants* its own registry/tracer; the
-    # shard functions ship snapshot deltas back for the parent to merge.
+    # RA501 (all three writes below): these globals are per-process by
+    # design.  The rule fires because enable() is reachable from the
+    # pool initializer `repro.perf.parallel._init_worker`, but a forked
+    # worker calling enable(fresh=True) *wants* its own registry/tracer
+    # — worker-side counters are shipped back as snapshot deltas and
+    # merged by the parent (perf/parallel.py, serve/worker.py), so no
+    # write is ever lost to copy-on-write.  Each marker suppresses a
+    # live finding; drop one and `repro lint --project` fires again.
     if fresh or clock is not None:
         _REGISTRY = MetricsRegistry()  # repro: noqa[RA501]
         _TRACER = Tracer(clock=clock)  # repro: noqa[RA501]

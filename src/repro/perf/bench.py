@@ -9,10 +9,11 @@ Six suites, selectable with ``--suite`` (default runs all):
   from-scratch daily retrain latency over the rolling window, batched
   prediction throughput, and batched vs per-flow ``what_if``.
 * ``lint`` — whole-tree ``repro lint --project`` over this repo's own
-  source, cold cache vs warm, plus the RA7xx determinism-dataflow
-  stage split into site extraction (the per-miss cost) and the
-  contract link (the floor every warm run pays), so the incremental
-  analysis cache's benefit is tracked like every other hot path.
+  source, cold cache vs warm, plus the RA7xx determinism-dataflow and
+  RA8xx lifecycle/durability stages each split into site extraction
+  (the per-miss cost) and the link (the floor every warm run pays), so
+  the incremental analysis cache's benefit is tracked like every other
+  hot path.
 * ``store`` — the persistence boundary (``repro.store``,
   ``docs/storage.md``): snapshot write throughput, restart latency to
   the first served prediction, and out-of-core retrain throughput over
@@ -54,7 +55,10 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..analysis import (analyze_project, check_determinism,
-                        extract_det_sites, find_determinism_config)
+                        check_durability, check_lifecycle,
+                        extract_det_sites, extract_dura_sites,
+                        extract_life_sites, find_determinism_config,
+                        find_durability_config)
 from ..analysis.callgraph import (ModuleFacts, ProjectGraph,
                                   extract_facts)
 from ..bgp import (IngressSimulator, SimulatorParams, compute_routing_table,
@@ -339,6 +343,56 @@ def _bench_lint_dataflow(report: BenchReport, rounds: int) -> None:
     link_s = _best_of(link, rounds)
     report.record("lint_dataflow_link_runs_per_s", 1.0 / link_s)
     print(f"  dataflow (link):    {link_s * 1e3:8.1f} ms/run "
+          f"(warm floor, {1.0 / link_s:.1f} runs/s)")
+
+
+def _bench_lint_lifecycle(report: BenchReport, rounds: int) -> None:
+    """RA8xx lifecycle/durability wave: site extraction vs link.
+
+    Same split as the dataflow stage: per-file extraction of lifecycle
+    and durability sites is the cache-miss cost, while the link-time
+    checks (lock-order cycles, transitive blocking, thread lifecycle,
+    the durability protocol) rerun on every warm ``--project`` pass and
+    add to its floor.
+    """
+    src_root = Path(__file__).resolve().parents[2]
+    target = src_root / "repro"
+    parsed: List[Tuple[ast.Module, ModuleFacts]] = []
+    for path in sorted(target.rglob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source)
+        display = str(path.relative_to(src_root))
+        parsed.append((tree, extract_facts(
+            tree, source, path, display, frozenset({"repro"}))))
+    durability = find_durability_config(target)
+    if durability is None:  # pragma: no cover - repo always has the table
+        return
+    n_files = len(parsed)
+
+    def extract() -> None:
+        for tree, _facts in parsed:
+            extract_life_sites(tree)
+            extract_dura_sites(tree)
+
+    extract_s = _best_of(extract, rounds)
+    report.record("lint_lifecycle_extract_files_per_s",
+                  n_files / extract_s)
+    print(f"  lifecycle (extract):{n_files / extract_s:8.0f} files/s "
+          f"(cold, {n_files} files)")
+
+    graph = ProjectGraph.link([facts for _tree, facts in parsed])
+    life_by_module = {facts.module: extract_life_sites(tree)
+                      for tree, facts in parsed}
+    dura_by_module = {facts.module: extract_dura_sites(tree)
+                      for tree, facts in parsed}
+
+    def link() -> None:
+        check_lifecycle(graph, life_by_module)
+        check_durability(graph, dura_by_module, durability)
+
+    link_s = _best_of(link, rounds)
+    report.record("lint_lifecycle_link_runs_per_s", 1.0 / link_s)
+    print(f"  lifecycle (link):   {link_s * 1e3:8.1f} ms/run "
           f"(warm floor, {1.0 / link_s:.1f} runs/s)")
 
 
@@ -646,6 +700,7 @@ def run_bench(
         with obs.span("bench.lint"):
             _bench_lint(report, rounds)
             _bench_lint_dataflow(report, rounds)
+            _bench_lint_lifecycle(report, rounds)
     if suite in ("all", "store"):
         with obs.span("bench.store"):
             _bench_store(report, profile, seed, rounds)

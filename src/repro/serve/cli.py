@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 import time
@@ -97,11 +98,18 @@ def _build_scenario(size: str, seed: int, days: int) -> "Scenario":
 
 
 def _write_recipe(directory: Path, args: argparse.Namespace) -> None:
+    # the recipe is a tracked durable artifact ([tool.repro.durability]):
+    # commit it tmp + fsync + rename so a crashed run never leaves a
+    # torn scenario.json for --resume/status to choke on (RA804)
     payload = {"size": args.size, "seed": args.seed, "days": args.days,
                "window": args.window}
-    (directory / RECIPE_NAME).write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8")
+    path = directory / RECIPE_NAME
+    tmp = directory / (RECIPE_NAME + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
 
 
 def _read_recipe(directory: Path) -> Optional[Dict[str, object]]:

@@ -103,6 +103,10 @@ class DaemonConfig:
 class _InlineShard:
     """A shard in this process: own ingest queue + thread, direct calls."""
 
+    #: how long stop() waits for the ingest thread to exit before
+    #: declaring the shard stuck (class attr so tests can shrink it)
+    _STOP_JOIN_TIMEOUT = 30.0
+
     def __init__(self, shard_id: int, wan: CloudWAN, config: ServiceConfig,
                  restore_dir: Optional[str] = None):
         if restore_dir is not None:
@@ -188,11 +192,20 @@ class _InlineShard:
                     break
                 self._queue.task_done()
         self._queue.put(None)
-        self._thread.join()
+        self._thread.join(timeout=self._STOP_JOIN_TIMEOUT)
+        if self._thread.is_alive():
+            raise ShardError(
+                f"shard {self.shard_id}: ingest thread still alive "
+                f"{self._STOP_JOIN_TIMEOUT}s after stop")
 
 
 class _ProcessShard:
     """A shard in a worker process behind a duplex pipe."""
+
+    #: stop() escalation ladder: graceful join, then SIGTERM + join,
+    #: then SIGKILL + join (class attrs so tests can shrink them)
+    _STOP_JOIN_TIMEOUT = 30.0
+    _ESCALATE_JOIN_TIMEOUT = 5.0
 
     def __init__(self, shard_id: int, wan: CloudWAN, config: ServiceConfig,
                  restore_dir: Optional[str] = None,
@@ -233,14 +246,41 @@ class _ProcessShard:
         return result
 
     def stop(self, drain: bool) -> None:
+        """Stop the worker, escalating terminate -> kill if it wedges.
+
+        The protocol ack can succeed while the worker still refuses to
+        exit (a non-daemon thread it spawned, a blocked flush, a SIGTERM
+        handler installed by user code), so the reap path never trusts a
+        single join: graceful join, then SIGTERM, then SIGKILL — and if
+        even SIGKILL leaves the process visible, raise rather than leak
+        it silently.  A stuck shard always surfaces as ShardError naming
+        the shard, chained to the protocol error when there was one.
+        """
+        error: Optional[BaseException] = None
         try:
             self.begin("stop", drain)
             self.finish()
-        finally:
-            self.process.join(timeout=30)
-            if self.process.is_alive():  # pragma: no cover - safety net
-                self.process.terminate()
-                self.process.join(timeout=5)
+        except BaseException as exc:
+            error = exc
+        self.process.join(timeout=self._STOP_JOIN_TIMEOUT)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=self._ESCALATE_JOIN_TIMEOUT)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=self._ESCALATE_JOIN_TIMEOUT)
+        stuck = self.process.is_alive()
+        if stuck:  # pragma: no cover - SIGKILL cannot be ignored
+            raise ShardError(
+                f"shard {self.shard_id}: worker pid "
+                f"{self.process.pid} survived terminate+kill"
+            ) from error
+        if error is not None:
+            if isinstance(error, ShardError) or not isinstance(
+                    error, Exception):
+                raise error
+            raise ShardError(
+                f"shard {self.shard_id} stop: {error!r}") from error
 
 
 # -- the daemon ---------------------------------------------------------------
@@ -534,7 +574,11 @@ def write_manifest(directory: Union[str, Path], n_shards: int,
     }
     path = root / MANIFEST_NAME
     tmp = root / (MANIFEST_NAME + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as handle:
+    # checkpoint() calls this while holding _query_lock on purpose:
+    # queries must observe the old checkpoint or the new one, never a
+    # half-committed swap, so the manifest IO stays inside the critical
+    # section (docs/operations.md, "checkpoint stalls queries")
+    with open(tmp, "w", encoding="utf-8") as handle:  # repro: noqa[RA802]
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
         handle.flush()

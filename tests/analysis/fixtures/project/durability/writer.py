@@ -1,0 +1,52 @@
+"""RA804 fixture: tracked artifacts committed off-protocol."""
+
+import json
+import os
+
+MANIFEST = "MANIFEST.json"
+
+
+def _write(path, payload):
+    # protocol-compliant helper: targets are tmp names, fsynced before
+    # the caller renames them over the tracked name
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def write_direct(root, payload):
+    with open(root / "data.json", "w") as handle:  # expect: RA804
+        json.dump(payload, handle)
+
+
+def rename_commit(root):
+    os.rename(root / "stage.npz", root / "final.npz")  # expect: RA804
+
+
+def replace_without_fsync(root, payload):
+    with open(root / "table.npz.tmp", "wb") as handle:
+        handle.write(payload)
+    os.replace(root / "table.npz.tmp", root / "table.npz")  # expect: RA804
+
+
+def manifest_before_artifact(root, payload):
+    _write(root / "MANIFEST.json.tmp", {"entries": 1})
+    os.replace(root / "MANIFEST.json.tmp", root / MANIFEST)
+    _write(root / "data.json.tmp", payload)
+    os.replace(root / "data.json.tmp", root / "data.json")  # expect: RA804
+
+
+def commit_all(root, payload):
+    # the clean shape: artifacts first, manifest last, fsync before
+    # every replace (reached through _write)
+    _write(root / "data.json.tmp", payload)
+    os.replace(root / "data.json.tmp", root / "data.json")
+    _write(root / "MANIFEST.json.tmp", {"entries": 1})
+    os.replace(root / "MANIFEST.json.tmp", root / MANIFEST)
+
+
+def untracked_scratch(root, payload):
+    # not in the durability table: the protocol does not apply
+    with open(root / "scratch.log", "w") as handle:
+        handle.write(str(payload))

@@ -1,0 +1,43 @@
+"""RA802 fixture: unbounded blocking work on locked paths."""
+
+import threading
+import time
+
+LOCK = threading.Lock()
+
+
+def wait_under_lock(worker):
+    with LOCK:
+        worker.join()  # expect: RA802
+
+
+def sleep_under_lock():
+    with LOCK:
+        time.sleep(1)  # expect: RA802
+
+
+def flush_through_helper():
+    with LOCK:
+        _slow_flush()
+
+
+def _slow_flush():
+    # no lock held lexically, but flush_through_helper calls in with
+    # LOCK held: the transitive half of RA802
+    time.sleep(2)  # expect: RA802
+
+
+def drain_via_convention():
+    with LOCK:
+        _drain_locked()
+
+
+def _drain_locked():
+    # `_locked` suffix documents caller-holds-lock (RA502 convention):
+    # deliberate under-lock work, exempt from the transitive check
+    time.sleep(0.01)
+
+
+def bounded_wait(worker):
+    with LOCK:
+        worker.join(timeout=1.0)  # bounded: clean

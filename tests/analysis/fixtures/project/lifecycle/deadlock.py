@@ -1,0 +1,32 @@
+"""RA801 fixture: two locks taken in opposite orders on two paths."""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+LOCK_C = threading.Lock()
+
+
+def transfer():
+    with LOCK_A:
+        with LOCK_B:  # expect: RA801
+            return 1
+
+
+def audit():
+    with LOCK_B:
+        with LOCK_A:  # expect: RA801
+            return 2
+
+
+def ordered_one():
+    # same nesting order as ordered_two: consistent, no cycle
+    with LOCK_A:
+        with LOCK_C:
+            return 3
+
+
+def ordered_two():
+    with LOCK_A:
+        with LOCK_C:
+            return 4

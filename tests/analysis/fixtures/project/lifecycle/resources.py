@@ -1,0 +1,23 @@
+"""RA805 fixture: resources opened, used locally, never closed."""
+
+
+def count_lines(path):
+    handle = open(path)  # expect: RA805
+    return len(handle.readlines())
+
+
+def read_config(path):
+    with open(path) as handle:  # with block: clean
+        return handle.read()
+
+
+def pass_through(path):
+    handle = open(path)
+    return handle  # escapes to the caller: the caller owns closing
+
+
+def explicit_close(path):
+    handle = open(path)
+    data = handle.read()
+    handle.close()
+    return data

@@ -1,0 +1,42 @@
+"""RA803 fixture: leaked workers and unbounded shutdown joins."""
+
+import threading
+
+
+class Pump:
+    """Starts a worker, no join/terminate/kill anywhere in the class."""
+
+    def __init__(self):
+        self._worker = threading.Thread(target=self._run, daemon=True)
+        self._worker.start()  # expect: RA803
+
+    def _run(self):
+        pass
+
+
+class Service:
+    """Reaps its worker, but with a join that can hang forever."""
+
+    def __init__(self):
+        self._worker_thread = threading.Thread(target=self._run)
+        self._worker_thread.start()
+
+    def _run(self):
+        pass
+
+    def stop(self):
+        self._worker_thread.join()  # expect: RA803
+
+
+class Clean:
+    """Bounded join on the shutdown path: nothing to report."""
+
+    def __init__(self):
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        pass
+
+    def stop(self):
+        self._worker.join(timeout=5.0)

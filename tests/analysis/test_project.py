@@ -8,9 +8,11 @@ out of the comparison.
 """
 
 import ast
+import io
 import json
 import re
 import shutil
+import tokenize
 from collections import Counter
 from pathlib import Path
 
@@ -52,7 +54,8 @@ def run_scenario(name):
 
 
 @pytest.mark.parametrize("name", ["races", "locks", "layers",
-                                  "determinism"])
+                                  "determinism", "lifecycle",
+                                  "durability"])
 def test_scenario_fires_exactly_the_marked_rules(name):
     report = run_scenario(name)
     got = Counter((v.path, v.line, v.code) for v in report.violations)
@@ -86,6 +89,88 @@ def test_layer_report_names_the_table_edge():
     assert report.violations
     assert all("'util' -> 'core'" in v.message
                for v in report.violations)
+
+
+def test_deadlock_report_names_both_acquisition_sites():
+    report = run_scenario("lifecycle")
+    cycles = [v for v in report.violations if v.code == "RA801"]
+    assert len(cycles) == 2, "both directions of the 2-cycle report"
+    first = next(v for v in cycles if v.line == 12)
+    assert "`LOCK_B` is acquired while `LOCK_A` is held" in first.message
+    assert "deadlock.py:18" in first.message, \
+        "the message must name the opposite-order acquisition site"
+
+
+def test_transitive_blocking_report_names_the_locked_caller():
+    report = run_scenario("lifecycle")
+    transitive = next(v for v in report.violations
+                      if v.code == "RA802" and "_slow_flush" in v.message)
+    assert "called via blocking.py:21 in `flush_through_helper`" \
+        in transitive.message
+    assert "_locked" in transitive.message, "the remedy names the escape"
+
+
+def test_durability_report_names_pattern_and_protocol():
+    report = run_scenario("durability")
+    ordering = next(v for v in report.violations
+                    if "after the manifest" in v.message)
+    assert ordering.line == 37
+    assert "(line 35)" in ordering.message
+    in_place = next(v for v in report.violations if v.line == 19)
+    assert "tracked artifact `data.json`" in in_place.message
+    assert "os.replace" in in_place.message
+
+
+def test_no_orphaned_noqa_markers_in_source_tree(monkeypatch):
+    """Every inline `# repro: noqa[RAxxx]` must still suppress a live
+    finding: with suppression plumbing disabled, re-analysis must fire
+    each suppressed code on each marker line (else the marker is stale
+    documentation and should be deleted)."""
+    from repro.analysis import suppressed_lines
+    from repro.analysis.base import RULES
+    from repro.analysis import base as base_mod, callgraph
+
+    markers = []  # (display path, line, code)
+    src = REPO_ROOT / "src"
+    for path in sorted(src.rglob("*.py")):
+        # tokenize so only real COMMENT markers count — docstrings
+        # documenting the `# repro: noqa[RAxxx]` syntax are not
+        # suppressions
+        tokens = tokenize.generate_tokens(
+            io.StringIO(path.read_text()).readline)
+        for tok_type, tok_string, (lineno, _), _, _ in tokens:
+            if tok_type != tokenize.COMMENT:
+                continue
+            parsed = suppressed_lines(tok_string)
+            if not parsed:
+                continue
+            codes = parsed[1]
+            assert codes is not None and codes, (
+                f"{path}:{lineno}: bare `# repro: noqa` hides every "
+                "rule; list the codes being suppressed")
+            for code in codes:
+                if not re.fullmatch(r"RA\d+", code):
+                    continue  # syntax placeholder (RAxxx), not a rule
+                assert code in RULES, (
+                    f"{path}:{lineno}: noqa names unknown rule {code}")
+                markers.append(
+                    (str(path.relative_to(REPO_ROOT)), lineno, code))
+    assert markers, "the source tree is known to carry noqa markers"
+
+    def no_suppression(source):
+        return {}
+
+    # both suppression paths read the same helper: the per-file filter
+    # (apply_suppressions, via base's namespace) and the link-time
+    # ModuleFacts.suppressed table built in callgraph.extract_facts
+    monkeypatch.setattr(base_mod, "suppressed_lines", no_suppression)
+    monkeypatch.setattr(callgraph, "suppressed_lines", no_suppression)
+    report = analyze_project([src], cache_dir=None, root=REPO_ROOT)
+    fired = {(v.path, v.line, v.code) for v in report.violations}
+    orphans = [m for m in markers if m not in fired]
+    assert orphans == [], (
+        "stale noqa markers (no live finding on that line): "
+        + ", ".join(f"{p}:{line} [{code}]" for p, line, code in orphans))
 
 
 def test_repo_source_tree_is_project_clean():
@@ -152,6 +237,54 @@ def test_cache_results_identical_with_and_without_cache(tmp_path):
                                select=PROJECT_RULES, root=tmp_path)
     assert cached.cache_hits == cached.files_scanned
     assert cached.violations == uncached.violations
+
+
+def test_ruleset_fingerprint_covers_the_ra8xx_rule_files(tmp_path,
+                                                         monkeypatch):
+    """Editing lifecycle.py or durability.py must change the
+    fingerprint — warm caches may never serve verdicts computed by an
+    older rule set."""
+    import repro.analysis.base as base_mod
+
+    analysis_dir = Path(base_mod.__file__).resolve().parent
+    baseline = base_mod.ruleset_fingerprint()
+    copy = tmp_path / "analysis"
+    shutil.copytree(analysis_dir, copy,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    monkeypatch.setattr(base_mod, "__file__", str(copy / "base.py"))
+    assert base_mod.ruleset_fingerprint() == baseline, \
+        "an identical copy of the rule sources hashes identically"
+    seen = {baseline}
+    for rule_file in ("lifecycle.py", "durability.py"):
+        target = copy / rule_file
+        target.write_bytes(target.read_bytes() + b"\n# edited\n")
+        fingerprint = base_mod.ruleset_fingerprint()
+        assert fingerprint not in seen, \
+            f"editing {rule_file} must change the fingerprint"
+        seen.add(fingerprint)
+
+
+def test_warm_cache_invalidates_when_ruleset_changes(tmp_path,
+                                                     monkeypatch):
+    from repro.analysis import project as project_mod
+
+    tree = _copy_scenario(tmp_path, "lifecycle")
+    cache_dir = tmp_path / "cache"
+    cold = analyze_project([tree], cache_dir=cache_dir,
+                           select=PROJECT_RULES, root=tmp_path)
+    warm = analyze_project([tree], cache_dir=cache_dir,
+                           select=PROJECT_RULES, root=tmp_path)
+    assert warm.cache_hits == warm.files_scanned
+
+    real = project_mod.ruleset_fingerprint
+    monkeypatch.setattr(project_mod, "ruleset_fingerprint",
+                        lambda: "rule-edit-" + real())
+    third = analyze_project([tree], cache_dir=cache_dir,
+                            select=PROJECT_RULES, root=tmp_path)
+    assert third.cache_hits == 0, \
+        "a rule-set edit must miss every warm entry"
+    assert third.cache_misses == third.files_scanned
+    assert third.violations == cold.violations
 
 
 def test_cache_key_depends_on_analysis_params(tmp_path):

@@ -1,11 +1,16 @@
 """Daemon lifecycle: drain, checkpoint, restart-from-snapshot recovery."""
 
 import json
+import os
+import signal
+import threading
+import time
 
 import pytest
 
 from repro.core.service import ServiceConfig
 from repro.serve import DaemonConfig, ServeDaemon, ShardError
+from repro.serve import daemon as daemon_mod
 from repro.serve.daemon import MANIFEST_NAME, read_manifest
 
 from .conftest import HOURS
@@ -93,6 +98,86 @@ class TestRestartRecovery:
         assert manifest["last_hour"] == 25
         assert (tmp_path / "shard-00").is_dir()
         assert (tmp_path / "shard-01").is_dir()
+
+
+def _wedged_worker(conn, shard_id, wan, config, restore_dir=None,
+                   obs_enabled=False):
+    """Worker that acks the stop protocol but refuses to die.
+
+    Ignores SIGTERM (as user code loaded into a worker legitimately
+    can) and sleeps forever after the ack — the shape of the shutdown
+    hang the terminate->kill escalation in ``_ProcessShard.stop``
+    exists for.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    while True:
+        message = conn.recv()
+        if message[0] == "stop":
+            conn.send(("ok", None))
+            while True:
+                time.sleep(60)
+
+
+def _mute_worker(conn, shard_id, wan, config, restore_dir=None,
+                 obs_enabled=False):
+    """Worker that dies without acking stop (crash during shutdown)."""
+    conn.recv()
+    conn.close()
+    os._exit(1)
+
+
+class TestShutdownEscalation:
+    """Regression: a wedged worker must never hang or leak at stop()."""
+
+    @pytest.fixture(autouse=True)
+    def _fast_timeouts(self, monkeypatch):
+        monkeypatch.setattr(
+            daemon_mod._ProcessShard, "_STOP_JOIN_TIMEOUT", 0.3)
+        monkeypatch.setattr(
+            daemon_mod._ProcessShard, "_ESCALATE_JOIN_TIMEOUT", 1.0)
+        monkeypatch.setattr(
+            daemon_mod._InlineShard, "_STOP_JOIN_TIMEOUT", 0.3)
+
+    def test_stop_kills_sigterm_ignoring_worker(self, serve_world,
+                                                monkeypatch):
+        monkeypatch.setattr(
+            daemon_mod, "shard_worker_main", _wedged_worker)
+        shard = daemon_mod._ProcessShard(
+            0, serve_world.scenario.wan, serve_world.config)
+        started = time.monotonic()
+        shard.stop(drain=False)  # used to leak the process silently
+        assert time.monotonic() - started < 10
+        assert not shard.process.is_alive()
+        assert shard.process.exitcode == -signal.SIGKILL
+
+    def test_stop_reaps_worker_that_dies_without_ack(self, serve_world,
+                                                     monkeypatch):
+        monkeypatch.setattr(
+            daemon_mod, "shard_worker_main", _mute_worker)
+        shard = daemon_mod._ProcessShard(
+            0, serve_world.scenario.wan, serve_world.config)
+        with pytest.raises(ShardError, match="worker died"):
+            shard.stop(drain=False)
+        assert not shard.process.is_alive()
+
+    def test_inline_stop_surfaces_stuck_ingest_thread(self, serve_world,
+                                                      monkeypatch):
+        shard = daemon_mod._InlineShard(
+            0, serve_world.scenario.wan, serve_world.config)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def wedged_ingest(hour, records):
+            entered.set()
+            release.wait()
+
+        monkeypatch.setattr(shard.shard, "ingest_hour", wedged_ingest)
+        shard.ingest(0, [])
+        assert entered.wait(5)  # the thread is inside the slow ingest
+        with pytest.raises(ShardError, match="ingest thread"):
+            shard.stop(drain=False)
+        release.set()  # let the (daemon) thread run to the sentinel
+        shard._thread.join(5)
 
 
 class TestManifestValidation:
